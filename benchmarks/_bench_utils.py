@@ -1,0 +1,10 @@
+"""Helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+
+def print_block(title: str, lines) -> None:
+    """Print a titled block of result lines next to the timing output."""
+    print(f"\n=== {title} ===")
+    for line in lines:
+        print(f"  {line}")

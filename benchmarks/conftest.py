@@ -1,0 +1,12 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md, "Per-experiment index") and asserts the reproduced shape
+(who wins, by roughly what factor) while pytest-benchmark records the
+pipeline's runtime.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

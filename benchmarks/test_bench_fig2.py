@@ -1,0 +1,33 @@
+"""E1 — Fig. 2: response curves of the motivational DC-servo example."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import print_block
+from repro.analysis import figure2_responses
+from repro.casestudy import PAPER_FIG2_SETTLING_SECONDS
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_response_curves(benchmark):
+    result = benchmark(figure2_responses)
+    settling = result.settling_times()
+
+    print_block(
+        "Fig. 2 — settling times (seconds), reproduced vs paper",
+        [
+            f"KT               : {settling['KT']:.2f}  (paper {PAPER_FIG2_SETTLING_SECONDS['KT']:.2f})",
+            f"KE (stable)      : {settling['KE_s']:.2f}  (paper {PAPER_FIG2_SETTLING_SECONDS['KE']:.2f})",
+            f"4KE_s+4KT+nKE_s  : {settling['4KE_s+4KT+nKE_s']:.2f}  "
+            f"(paper {PAPER_FIG2_SETTLING_SECONDS['switch_4_4_stable']:.2f})",
+            f"4KE_u+4KT+nKE_u  : {settling['4KE_u+4KT+nKE_u']:.2f}  "
+            f"(paper {PAPER_FIG2_SETTLING_SECONDS['switch_4_4_unstable']:.2f})",
+        ],
+    )
+
+    assert settling["KT"] == pytest.approx(0.18)
+    assert settling["4KE_s+4KT+nKE_s"] == pytest.approx(0.28)
+    assert settling["4KE_u+4KT+nKE_u"] == pytest.approx(0.58)
+    # Shape: fast controller < stable switching < unstable switching < ET-only.
+    assert settling["KT"] < settling["4KE_s+4KT+nKE_s"] < settling["4KE_u+4KT+nKE_u"] < settling["KE_s"]

@@ -1,0 +1,32 @@
+"""E2 — Fig. 3: settling-time surface with and without switching stability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import print_block
+from repro.analysis import figure3_surface
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_settling_surface(benchmark):
+    result = benchmark(figure3_surface, max_wait=20, max_dwell=10, horizon=140)
+
+    print_block(
+        "Fig. 3 — settling-time surface J(Tw, Tdw) statistics (seconds)",
+        [
+            f"stable pair   KT+KE_s : mean {result.mean_settling(True):.3f}, "
+            f"worst {result.worst_settling(True):.3f}",
+            f"unstable pair KT+KE_u : mean {result.mean_settling(False):.3f}, "
+            f"worst {result.worst_settling(False):.3f}",
+        ],
+    )
+
+    # Paper's point: designing without switching stability is resource-inefficient —
+    # for the same (Tw, Tdw) budget the non-stable pair settles later.
+    assert result.mean_settling(True) < result.mean_settling(False)
+    assert result.worst_settling(True) <= result.worst_settling(False)
+    # Every grid point of the stable pair is at least as good (within a sample).
+    difference = result.unstable_surface - result.stable_surface
+    assert np.nanmin(difference) >= -0.02 - 1e-9

@@ -1,0 +1,33 @@
+"""E3 — Fig. 4: minimum and maximum dwell times versus wait time."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import print_block
+from repro.analysis import figure4_dwell_bounds
+from repro.casestudy import PAPER_TABLE1
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_dwell_bounds(benchmark):
+    result = benchmark(figure4_dwell_bounds)
+    row = PAPER_TABLE1["C1"]
+
+    print_block(
+        "Fig. 4 — dwell bounds vs wait time (J* = 0.36 s)",
+        [
+            f"Tw values   : {list(result.wait_values)}",
+            f"Tdw- (repro): {list(result.min_dwell)}",
+            f"Tdw- (paper): {list(row.min_dwell)}",
+            f"Tdw+ (repro): {list(result.max_dwell)}",
+            f"Tdw+ (paper): {list(row.max_dwell)}",
+            f"best settling at Tw=0: {result.settling_at_max[0]:.2f} s (paper 0.18 s)",
+        ],
+    )
+
+    assert result.max_wait == row.max_wait
+    assert result.min_dwell == row.min_dwell
+    assert result.max_dwell == row.max_dwell
+    assert result.settling_at_max[0] == pytest.approx(0.18)
+    assert result.best_settling_is_non_decreasing()

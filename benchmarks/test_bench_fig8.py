@@ -1,0 +1,25 @@
+"""E6 — Fig. 8: responses of C1, C3, C4 and C5 sharing slot S1."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import print_block
+from repro.analysis import figure8_slot1
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_slot1_responses(benchmark):
+    result = benchmark(figure8_slot1)
+
+    print_block("Fig. 8 — slot S1, simultaneous disturbances", result.format_summary())
+
+    assert result.all_requirements_met()
+    assert result.schedule.schedulable
+    # Paper: C3 uses S1 for Tdw+ = 5 samples as nobody preempts it; the others
+    # are preempted at their minimum dwell.
+    assert result.tt_samples["C3"] == 5
+    outcomes = {o.application: o for o in result.schedule.outcomes}
+    assert not outcomes["C3"].preempted
+    for name in ("C1", "C4", "C5"):
+        assert outcomes[name].preempted

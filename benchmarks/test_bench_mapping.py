@@ -1,0 +1,21 @@
+"""E5 — Sec. 5 resource mapping: proposed flow (2 slots) vs baseline [9] (4 slots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import print_block
+from repro.analysis import mapping_experiment
+
+
+@pytest.mark.benchmark(group="mapping")
+def test_mapping_proposed_vs_baseline(benchmark):
+    result = benchmark(mapping_experiment)
+
+    print_block("Sec. 5 — resource mapping", result.format_summary())
+
+    assert result.proposed.slot_count == 2
+    assert result.baseline.slot_count == 4
+    assert result.slot_savings == pytest.approx(0.5)
+    assert result.matches_paper_proposed
+    assert result.matches_paper_baseline

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Motivational example (paper Sec. 3.1): switching control of a DC servo.
+
+Reproduces, as printed tables, the content of the paper's Figs. 2-4:
+
+* settling times of the pure TT, pure ET and 4+4 switching strategies, with
+  and without switching stability;
+* the settling-time landscape over (wait, dwell) combinations;
+* the minimum/maximum dwell-time table for J* = 0.36 s.
+
+Run with:  python examples/dc_motor_switching.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure2_responses, figure3_surface, figure4_dwell_bounds
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Fig. 2 — settling times of the candidate strategies")
+    print("=" * 72)
+    fig2 = figure2_responses()
+    for label, seconds in fig2.settling_times().items():
+        print(f"  {label:<18s}: {seconds:.2f} s")
+
+    print()
+    print("=" * 72)
+    print("Fig. 3 — settling time over (Tw, Tdw), stable vs non-stable pair")
+    print("=" * 72)
+    fig3 = figure3_surface(max_wait=12, max_dwell=8, horizon=140)
+    print(f"  mean J  (KT + KE_s): {fig3.mean_settling(True):.3f} s")
+    print(f"  mean J  (KT + KE_u): {fig3.mean_settling(False):.3f} s")
+    print(f"  worst J (KT + KE_s): {fig3.worst_settling(True):.3f} s")
+    print(f"  worst J (KT + KE_u): {fig3.worst_settling(False):.3f} s")
+    print("  -> designing without switching stability is resource-inefficient")
+
+    print()
+    print("=" * 72)
+    print("Fig. 4 — dwell-time bounds vs wait time (J* = 0.36 s)")
+    print("=" * 72)
+    fig4 = figure4_dwell_bounds()
+    print(f"  {'Tw':>4s} {'Tdw-':>6s} {'Tdw+':>6s} {'J@Tdw-':>8s} {'J@Tdw+':>8s}")
+    for index, wait in enumerate(fig4.wait_values):
+        print(
+            f"  {wait:>4d} {fig4.min_dwell[index]:>6d} {fig4.max_dwell[index]:>6d} "
+            f"{fig4.settling_at_min[index]:>8.2f} {fig4.settling_at_max[index]:>8.2f}"
+        )
+    print(f"  maximum admissible wait Tw* = {fig4.max_wait} samples")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "Tighter Dimensioning of Heterogeneous
+Multi-Resource Autonomous CPS with Control Performance Guarantees"
+(Roy, Chang, Mitter, Chakraborty — DAC 2019).
+
+The package implements the paper's complete flow on a simulated substrate:
+
+* :mod:`repro.control` — discrete-time plants, controller design, switching
+  stability (CQLF), settling-time metrics, closed-loop simulation;
+* :mod:`repro.switching` — the bi-modal switching strategy and the
+  dwell-time analysis producing ``Tw^*``, ``Tdw^-`` and ``Tdw^+``;
+* :mod:`repro.flexray` — the simulated FlexRay bus (static/dynamic segments,
+  worst-case ET timing, reconfigurable middleware);
+* :mod:`repro.ta` — a discrete-time timed-automata engine with an
+  explicit-state model checker (the UPPAAL substitute);
+* :mod:`repro.verification` — the paper's automata models, the exhaustive
+  shared-slot verifier and the instance-budget acceleration;
+* :mod:`repro.scheduler` — the EDF-like slot arbiter, the shared-slot
+  transition system, the trace simulator and the baseline analysis of [9];
+* :mod:`repro.dimensioning` — first-fit slot dimensioning with
+  verification-backed admission;
+* :mod:`repro.casestudy` — the DAC'19 case study (six applications);
+* :mod:`repro.analysis` — pipelines regenerating every figure and table of
+  the paper's evaluation;
+* :mod:`repro.core` — the high-level public API
+  (:class:`~repro.core.ControlApplication`,
+  :class:`~repro.core.DimensioningProblem`).
+"""
+
+from .core import ControlApplication, DimensioningComparison, DimensioningProblem
+from .exceptions import (
+    ConfigurationError,
+    DesignError,
+    DimensionError,
+    MappingError,
+    ModelError,
+    ProfileError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    StabilityError,
+    VerificationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ControlApplication",
+    "DimensioningProblem",
+    "DimensioningComparison",
+    "ReproError",
+    "DimensionError",
+    "DesignError",
+    "StabilityError",
+    "SimulationError",
+    "ProfileError",
+    "SchedulingError",
+    "VerificationError",
+    "ModelError",
+    "ConfigurationError",
+    "MappingError",
+]

@@ -1,0 +1,42 @@
+"""Per-figure/table regeneration pipelines for the paper's evaluation
+(Figs. 2-4 and 8-9, Table 1, the Sec. 5 mapping result and the
+verification-time study)."""
+
+from .casestudy_results import (
+    MappingExperimentResult,
+    Table1Result,
+    Table1Row,
+    mapping_experiment,
+    table1,
+)
+from .figures import (
+    Figure2Result,
+    Figure3Result,
+    Figure4Result,
+    ResponseCurve,
+    figure2_responses,
+    figure3_surface,
+    figure4_dwell_bounds,
+)
+from .responses import SharedSlotResponse, figure8_slot1, figure9_slot2
+from .verification_times import AccelerationComparison, acceleration_comparison
+
+__all__ = [
+    "ResponseCurve",
+    "Figure2Result",
+    "Figure3Result",
+    "Figure4Result",
+    "figure2_responses",
+    "figure3_surface",
+    "figure4_dwell_bounds",
+    "Table1Row",
+    "Table1Result",
+    "table1",
+    "MappingExperimentResult",
+    "mapping_experiment",
+    "SharedSlotResponse",
+    "figure8_slot1",
+    "figure9_slot2",
+    "AccelerationComparison",
+    "acceleration_comparison",
+]

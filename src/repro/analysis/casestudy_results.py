@@ -1,0 +1,176 @@
+"""Regeneration of Table 1 and the resource-mapping result of Sec. 5.
+
+* :func:`table1` — recompute ``J_T``, ``J_E``, ``Tw^*``, ``Tdw^-`` and
+  ``Tdw^+`` for every case-study application and compare against the paper.
+* :func:`mapping_experiment` — run the proposed verification-backed
+  first-fit flow and the baseline of [9] on the case study and report the
+  slot partitions and savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..casestudy.paper_tables import (
+    PAPER_BASELINE_PARTITION,
+    PAPER_PROPOSED_PARTITION,
+    PAPER_TABLE1,
+    PaperTableRow,
+)
+from ..casestudy.plants import all_applications
+from ..casestudy.profiles import computed_profiles, paper_profiles
+from ..dimensioning.first_fit import (
+    DimensioningOutcome,
+    FirstFitDimensioner,
+    default_admission_test,
+    paper_sort_order,
+)
+from ..scheduler.baseline import BaselineDimensioningResult, BaselineStrategy, dimension_baseline
+from ..switching.profile import SwitchingProfile
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One recomputed row of Table 1 next to the paper's values."""
+
+    name: str
+    computed_tt_settling: int
+    computed_et_settling: int
+    computed_max_wait: int
+    computed_min_dwell: Tuple[int, ...]
+    computed_max_dwell: Tuple[int, ...]
+    paper: PaperTableRow
+
+    @property
+    def max_wait_matches(self) -> bool:
+        """Whether the recomputed ``Tw^*`` equals the paper's."""
+        return self.computed_max_wait == self.paper.max_wait
+
+    def dwell_deviation(self) -> int:
+        """Largest absolute per-entry deviation between the recomputed and the
+        paper's dwell arrays (over the overlapping indices)."""
+        deviation = 0
+        for computed, published in (
+            (self.computed_min_dwell, self.paper.min_dwell),
+            (self.computed_max_dwell, self.paper.max_dwell),
+        ):
+            for a, b in zip(computed, published):
+                deviation = max(deviation, abs(a - b))
+        return deviation
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The full recomputed Table 1."""
+
+    rows: Dict[str, Table1Row]
+
+    def all_max_waits_match(self) -> bool:
+        """Whether ``Tw^*`` matches the paper for every application."""
+        return all(row.max_wait_matches for row in self.rows.values())
+
+    def worst_dwell_deviation(self) -> int:
+        """Largest dwell-array deviation across all applications."""
+        return max(row.dwell_deviation() for row in self.rows.values())
+
+    def format_rows(self) -> List[str]:
+        """Printable rows mirroring the paper's table layout."""
+        lines = []
+        for name in sorted(self.rows):
+            row = self.rows[name]
+            lines.append(
+                f"{name}: J_T={row.computed_tt_settling} (paper {row.paper.tt_settling}) "
+                f"J_E={row.computed_et_settling} (paper {row.paper.et_settling}) "
+                f"Tw*={row.computed_max_wait} (paper {row.paper.max_wait}) "
+                f"Tdw-={list(row.computed_min_dwell)} Tdw+={list(row.computed_max_dwell)}"
+            )
+        return lines
+
+
+def table1(names: Optional[Sequence[str]] = None) -> Table1Result:
+    """Recompute Table 1 from the case-study plants and gains."""
+    profiles = computed_profiles(names)
+    rows: Dict[str, Table1Row] = {}
+    for name, profile in profiles.items():
+        rows[name] = Table1Row(
+            name=name,
+            computed_tt_settling=profile.tt_settling_samples,
+            computed_et_settling=profile.et_settling_samples,
+            computed_max_wait=profile.max_wait,
+            computed_min_dwell=tuple(profile.min_dwell_array),
+            computed_max_dwell=tuple(profile.max_dwell_array),
+            paper=PAPER_TABLE1[name],
+        )
+    return Table1Result(rows=rows)
+
+
+@dataclass(frozen=True)
+class MappingExperimentResult:
+    """Outcome of the Sec. 5 resource-mapping experiment.
+
+    Attributes:
+        proposed: result of the verification-backed first-fit flow.
+        baseline: result of the baseline flow of [9].
+        slot_savings: relative slot saving of the proposed flow.
+        matches_paper_proposed: whether the proposed partition equals the
+            paper's ``{C1,C5,C4,C3}, {C6,C2}``.
+        matches_paper_baseline: whether the baseline partition equals the
+            paper's ``{C1,C5}, {C4,C3}, {C6}, {C2}``.
+    """
+
+    proposed: DimensioningOutcome
+    baseline: BaselineDimensioningResult
+    slot_savings: float
+    matches_paper_proposed: bool
+    matches_paper_baseline: bool
+
+    def format_summary(self) -> List[str]:
+        """Printable summary of the experiment."""
+        return [
+            f"first-fit order      : {', '.join(self.proposed.order)}",
+            f"proposed partition   : {self.proposed.partition()} "
+            f"({self.proposed.slot_count} slots)",
+            f"baseline partition   : {self.baseline.partitions} "
+            f"({self.baseline.slot_count} slots)",
+            f"slot savings         : {self.slot_savings:.0%}",
+            f"matches paper (ours) : {self.matches_paper_proposed}",
+            f"matches paper (base) : {self.matches_paper_baseline}",
+        ]
+
+
+def _normalise(partition: Sequence[Sequence[str]]) -> Tuple[Tuple[str, ...], ...]:
+    return tuple(sorted(tuple(sorted(slot)) for slot in partition))
+
+
+def mapping_experiment(
+    profiles: Optional[Mapping[str, SwitchingProfile]] = None,
+    baseline_strategy: BaselineStrategy = BaselineStrategy.NON_PREEMPTIVE_DM,
+    use_paper_profiles: bool = True,
+) -> MappingExperimentResult:
+    """Run the Sec. 5 mapping experiment (proposed flow vs baseline of [9]).
+
+    Args:
+        profiles: optional explicit profiles; by default the paper's Table 1
+            profiles are used (set ``use_paper_profiles=False`` to recompute
+            them from the plants instead).
+        baseline_strategy: baseline variant to compare against.
+        use_paper_profiles: whether to use the published dwell tables or the
+            recomputed ones when ``profiles`` is not given.
+    """
+    if profiles is None:
+        profiles = paper_profiles() if use_paper_profiles else computed_profiles()
+
+    dimensioner = FirstFitDimensioner(profiles, default_admission_test())
+    proposed = dimensioner.dimension()
+    baseline = dimension_baseline(profiles, baseline_strategy)
+    savings = proposed.savings_versus(baseline.slot_count)
+    return MappingExperimentResult(
+        proposed=proposed,
+        baseline=baseline,
+        slot_savings=savings,
+        matches_paper_proposed=_normalise(proposed.partition())
+        == _normalise(PAPER_PROPOSED_PARTITION),
+        matches_paper_baseline=_normalise(baseline.partitions)
+        == _normalise(PAPER_BASELINE_PARTITION),
+    )

@@ -1,0 +1,182 @@
+"""Regeneration of the motivational-example figures (Figs. 2-4).
+
+* :func:`figure2_responses` — response curves of the DC-servo example under
+  ``K_T``, ``K^s_E``, ``K^u_E`` and the two 4+4 switching sequences.
+* :func:`figure3_surface` — settling time over the (Tw, Tdw) grid for the
+  switching-stable and the non-switching-stable controller pairs.
+* :func:`figure4_dwell_bounds` — ``Tdw^-`` and ``Tdw^+`` versus ``Tw`` for
+  ``J* = 0.36 s`` with the achieved settling times as annotations.
+
+Every function returns plain data (numpy arrays / dataclasses) so the
+benchmarks can both check the reproduced shapes and print the series the
+paper plots; no plotting library is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..casestudy.motivational import (
+    DISTURBED_STATE,
+    REQUIREMENT_SAMPLES,
+    dc_servo_plant,
+    et_gain_stable,
+    et_gain_unstable,
+    tt_gain,
+)
+from ..control.simulation import ClosedLoopSimulator
+from ..switching.dwell import DwellAnalysisResult, DwellTimeAnalyzer
+
+
+@dataclass(frozen=True)
+class ResponseCurve:
+    """One response curve of Fig. 2: label, time axis and output trajectory."""
+
+    label: str
+    time: np.ndarray
+    output: np.ndarray
+    settling_seconds: Optional[float]
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """All five response curves of Fig. 2, keyed by their paper labels."""
+
+    curves: Dict[str, ResponseCurve]
+
+    def settling_times(self) -> Dict[str, Optional[float]]:
+        """Settling time (seconds) of every curve."""
+        return {label: curve.settling_seconds for label, curve in self.curves.items()}
+
+
+def figure2_responses(horizon: int = 60) -> Figure2Result:
+    """Reproduce the response curves of Fig. 2.
+
+    The five strategies of the paper: pure ``K_T``, pure ``K^s_E``, pure
+    ``K^u_E`` and the two switching sequences "4 samples ET, 4 samples TT,
+    then ET" using the stable and the unstable ET controller respectively.
+    """
+    plant = dc_servo_plant()
+    stable = ClosedLoopSimulator(plant, tt_gain=tt_gain(), et_gain=et_gain_stable())
+    unstable = ClosedLoopSimulator(plant, tt_gain=tt_gain(), et_gain=et_gain_unstable())
+    switch_modes = ["ET"] * 4 + ["TT"] * 4 + ["ET"] * (horizon - 8)
+
+    def curve(label: str, simulator: ClosedLoopSimulator, modes: Sequence[str]) -> ResponseCurve:
+        trajectory = simulator.simulate_mode_sequence(DISTURBED_STATE, list(modes))
+        settling = trajectory.settling()
+        return ResponseCurve(
+            label=label,
+            time=trajectory.time_axis(),
+            output=trajectory.outputs[:, 0],
+            settling_seconds=settling.seconds if settling.settled else None,
+        )
+
+    curves = {
+        "KT": curve("KT", stable, ["TT"] * horizon),
+        "KE_s": curve("KE_s", stable, ["ET"] * horizon),
+        "KE_u": curve("KE_u", unstable, ["ET"] * horizon),
+        "4KE_u+4KT+nKE_u": curve("4KE_u+4KT+nKE_u", unstable, switch_modes),
+        "4KE_s+4KT+nKE_s": curve("4KE_s+4KT+nKE_s", stable, switch_modes),
+    }
+    return Figure2Result(curves=curves)
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Settling-time surfaces of Fig. 3 (seconds; ``nan`` = not settled).
+
+    Attributes:
+        wait_values: explored wait times (samples).
+        dwell_values: explored dwell times (samples).
+        stable_surface: J(Tw, Tdw) for the switching-stable pair ``K_T + K^s_E``.
+        unstable_surface: J(Tw, Tdw) for the non-stable pair ``K_T + K^u_E``.
+    """
+
+    wait_values: Tuple[int, ...]
+    dwell_values: Tuple[int, ...]
+    stable_surface: np.ndarray
+    unstable_surface: np.ndarray
+
+    def mean_settling(self, stable: bool = True) -> float:
+        """Mean settling time over the grid (ignoring unsettled points)."""
+        surface = self.stable_surface if stable else self.unstable_surface
+        return float(np.nanmean(surface))
+
+    def worst_settling(self, stable: bool = True) -> float:
+        """Worst settling time over the grid (ignoring unsettled points)."""
+        surface = self.stable_surface if stable else self.unstable_surface
+        return float(np.nanmax(surface))
+
+
+def figure3_surface(
+    max_wait: int = 40,
+    max_dwell: int = 10,
+    horizon: int = 140,
+) -> Figure3Result:
+    """Reproduce the Fig. 3 settling-time surfaces over the (Tw, Tdw) grid."""
+    plant = dc_servo_plant()
+    waits = tuple(range(0, max_wait + 1))
+    dwells = tuple(range(0, max_dwell + 1))
+
+    stable_analyzer = DwellTimeAnalyzer(plant, tt_gain(), et_gain_stable(), DISTURBED_STATE)
+    unstable_analyzer = DwellTimeAnalyzer(plant, tt_gain(), et_gain_unstable(), DISTURBED_STATE)
+    stable_surface = stable_analyzer.settling_surface(waits, dwells, horizon)
+    unstable_surface = unstable_analyzer.settling_surface(waits, dwells, horizon)
+    return Figure3Result(
+        wait_values=waits,
+        dwell_values=dwells,
+        stable_surface=stable_surface,
+        unstable_surface=unstable_surface,
+    )
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """Dwell bounds versus wait time (Fig. 4) for the motivational example.
+
+    Attributes:
+        analysis: the underlying dwell-time analysis result.
+        wait_values: wait times ``0..Tw^*``.
+        min_dwell: ``Tdw^-`` per wait time.
+        max_dwell: ``Tdw^+`` per wait time.
+        settling_at_min: settling time (seconds) when dwelling ``Tdw^-``.
+        settling_at_max: settling time (seconds) when dwelling ``Tdw^+``.
+    """
+
+    analysis: DwellAnalysisResult
+    wait_values: Tuple[int, ...]
+    min_dwell: Tuple[int, ...]
+    max_dwell: Tuple[int, ...]
+    settling_at_min: Tuple[float, ...]
+    settling_at_max: Tuple[float, ...]
+
+    @property
+    def max_wait(self) -> int:
+        """``Tw^*`` of the motivational example."""
+        return self.analysis.max_wait
+
+    def best_settling_is_non_decreasing(self) -> bool:
+        """Paper observation: the best achievable settling time never improves
+        as the wait time grows."""
+        values = self.settling_at_max
+        return all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+def figure4_dwell_bounds(requirement_samples: int = REQUIREMENT_SAMPLES) -> Figure4Result:
+    """Reproduce Fig. 4: ``Tdw^-``/``Tdw^+`` vs ``Tw`` with settling annotations."""
+    plant = dc_servo_plant()
+    analyzer = DwellTimeAnalyzer(plant, tt_gain(), et_gain_stable(), DISTURBED_STATE)
+    analysis = analyzer.analyze(requirement_samples)
+    h = plant.sampling_period
+    waits = tuple(entry.wait for entry in analysis.entries)
+    return Figure4Result(
+        analysis=analysis,
+        wait_values=waits,
+        min_dwell=tuple(entry.min_dwell for entry in analysis.entries),
+        max_dwell=tuple(entry.max_dwell for entry in analysis.entries),
+        settling_at_min=tuple(entry.settling_at_min_dwell * h for entry in analysis.entries),
+        settling_at_max=tuple(entry.settling_at_max_dwell * h for entry in analysis.entries),
+    )

@@ -1,0 +1,118 @@
+"""Regeneration of the shared-slot response figures (Figs. 8 and 9).
+
+The paper simulates the verified timed-automata models to obtain switching
+sequences and then replays those sequences on the control loops in MATLAB.
+Here the slot-schedule simulator produces the switching sequences and the
+closed-loop simulator produces the responses:
+
+* :func:`figure8_slot1` — slot ``S1`` = {C1, C5, C4, C3}; disturbances hit
+  C1, C3, C4 and C5 simultaneously.
+* :func:`figure9_slot2` — slot ``S2`` = {C6, C2}; C6 is disturbed 10 samples
+  after C2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..casestudy.plants import all_applications
+from ..casestudy.profiles import paper_profiles
+from ..control.disturbance import DisturbanceTrace
+from ..control.simulation import ClosedLoopSimulator, ClosedLoopTrajectory
+from ..scheduler.simulator import SlotScheduleResult, SlotScheduleSimulator
+from ..switching.profile import SwitchingProfile
+
+
+@dataclass(frozen=True)
+class SharedSlotResponse:
+    """Closed-loop responses of the applications sharing one TT slot.
+
+    Attributes:
+        schedule: outcome of the slot-schedule simulation (occupancy, waits,
+            dwell times, deadline misses).
+        trajectories: closed-loop output trajectory per application, starting
+            at its disturbance instant.
+        requirements_met: per application, whether the measured settling time
+            meets its requirement ``J*``.
+        settling_seconds: measured settling time (seconds) per application.
+        tt_samples: TT samples consumed per application.
+    """
+
+    schedule: SlotScheduleResult
+    trajectories: Mapping[str, ClosedLoopTrajectory]
+    requirements_met: Mapping[str, bool]
+    settling_seconds: Mapping[str, Optional[float]]
+    tt_samples: Mapping[str, int]
+
+    def all_requirements_met(self) -> bool:
+        """Whether every application settles within its requirement."""
+        return all(self.requirements_met.values())
+
+    def format_summary(self) -> list:
+        """Printable per-application summary lines."""
+        lines = []
+        for name in sorted(self.trajectories):
+            lines.append(
+                f"{name}: J = {self.settling_seconds[name]} s, "
+                f"TT samples = {self.tt_samples[name]}, "
+                f"requirement met = {self.requirements_met[name]}"
+            )
+        return lines
+
+
+def _shared_slot_response(
+    names: Sequence[str],
+    trace: DisturbanceTrace,
+    horizon: int,
+    profiles: Optional[Mapping[str, SwitchingProfile]] = None,
+) -> SharedSlotResponse:
+    profiles = profiles or paper_profiles()
+    applications = all_applications()
+    slot_profiles = [profiles[name] for name in names]
+    simulator = SlotScheduleSimulator(slot_profiles)
+    schedule = simulator.run(trace, horizon)
+
+    simulators = {
+        name: ClosedLoopSimulator(
+            applications[name].plant,
+            tt_gain=applications[name].kt,
+            et_gain=applications[name].ke,
+        )
+        for name in names
+    }
+    disturbed = {name: applications[name].disturbed_state for name in names}
+    trajectories = simulator.control_trajectories(schedule, simulators, disturbed, trace)
+
+    requirements_met: Dict[str, bool] = {}
+    settling_seconds: Dict[str, Optional[float]] = {}
+    tt_samples: Dict[str, int] = {}
+    for name, trajectory in trajectories.items():
+        requirement = applications[name].requirement_samples
+        settling = trajectory.settling()
+        settling_seconds[name] = settling.seconds if settling.settled else None
+        requirements_met[name] = bool(settling.settled and settling.samples <= requirement)
+        tt_samples[name] = schedule.tt_samples_used(name)
+    return SharedSlotResponse(
+        schedule=schedule,
+        trajectories=trajectories,
+        requirements_met=requirements_met,
+        settling_seconds=settling_seconds,
+        tt_samples=tt_samples,
+    )
+
+
+def figure8_slot1(horizon: int = 80) -> SharedSlotResponse:
+    """Fig. 8: C1, C3, C4 and C5 share slot S1 and are disturbed simultaneously."""
+    names = ("C1", "C5", "C4", "C3")
+    trace = DisturbanceTrace.simultaneous(names, sample=0)
+    return _shared_slot_response(names, trace, horizon)
+
+
+def figure9_slot2(offset: int = 10, horizon: int = 80) -> SharedSlotResponse:
+    """Fig. 9: C2 and C6 share slot S2; C6 is disturbed ``offset`` samples after C2."""
+    names = ("C6", "C2")
+    trace = DisturbanceTrace.from_arrivals([("C2", 0), ("C6", offset)])
+    return _shared_slot_response(names, trace, horizon)

@@ -1,0 +1,88 @@
+"""Verification-time experiment (paper Sec. 5, "Comments on verification time").
+
+The paper reports that verifying the hardest slot configuration
+({C1, C5, C4, C3} on one slot) took close to five hours with the unbounded
+disturbance model but only about fifteen minutes — a ~20x speed-up — after
+bounding the number of disturbance instances that can coincide.
+
+Our substrate is a pure-Python explicit-state engine rather than UPPAAL, so
+the absolute times differ by construction; the reproduced quantity is the
+*relative* effect of the acceleration: explored states and wall-clock time
+with and without the instance budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..casestudy.profiles import paper_profiles
+from ..switching.profile import SwitchingProfile
+from ..verification.acceleration import instance_budgets
+from ..verification.exhaustive import verify_slot_sharing
+from ..verification.result import VerificationResult
+
+
+@dataclass(frozen=True)
+class AccelerationComparison:
+    """Verification cost with and without the instance-budget acceleration.
+
+    Attributes:
+        applications: the applications verified together on one slot.
+        unbounded: result of the unbounded-disturbance verification.
+        accelerated: result with the computed instance budgets.
+        state_reduction: ratio of explored states (unbounded / accelerated).
+        speedup: wall-clock speed-up (unbounded time / accelerated time).
+    """
+
+    applications: Tuple[str, ...]
+    unbounded: VerificationResult
+    accelerated: VerificationResult
+    state_reduction: float
+    speedup: float
+
+    def verdicts_agree(self) -> bool:
+        """Both models must agree on feasibility (the acceleration is exact
+        for the interference windows of the case study)."""
+        return self.unbounded.feasible == self.accelerated.feasible
+
+    def format_summary(self) -> list:
+        """Printable summary of the comparison."""
+        return [
+            f"slot: {{{', '.join(self.applications)}}}",
+            f"unbounded  : {self.unbounded.explored_states} states, "
+            f"{self.unbounded.elapsed_seconds:.2f}s, feasible={self.unbounded.feasible}",
+            f"accelerated: {self.accelerated.explored_states} states, "
+            f"{self.accelerated.elapsed_seconds:.2f}s, feasible={self.accelerated.feasible}",
+            f"state reduction: {self.state_reduction:.1f}x, speed-up: {self.speedup:.1f}x",
+        ]
+
+
+def acceleration_comparison(
+    names: Sequence[str] = ("C1", "C5", "C4", "C3"),
+    profiles: Optional[Mapping[str, SwitchingProfile]] = None,
+    max_states: int = 20_000_000,
+) -> AccelerationComparison:
+    """Compare unbounded and accelerated verification on one slot configuration.
+
+    The default configuration is the paper's hardest instance (slot S1).
+    """
+    profiles = profiles or paper_profiles()
+    slot_profiles = [profiles[name] for name in names]
+
+    unbounded = verify_slot_sharing(
+        slot_profiles, instance_budget=None, with_counterexample=False, max_states=max_states
+    )
+    budgets = instance_budgets(slot_profiles)
+    accelerated = verify_slot_sharing(
+        slot_profiles, instance_budget=budgets, with_counterexample=False, max_states=max_states
+    )
+    state_reduction = unbounded.explored_states / max(accelerated.explored_states, 1)
+    speedup = unbounded.elapsed_seconds / max(accelerated.elapsed_seconds, 1e-9)
+    return AccelerationComparison(
+        applications=tuple(names),
+        unbounded=unbounded,
+        accelerated=accelerated,
+        state_reduction=state_reduction,
+        speedup=speedup,
+    )

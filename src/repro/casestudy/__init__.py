@@ -1,0 +1,70 @@
+"""The DAC'19 case study: motivational DC-servo example, the six control
+applications of Table 1, the paper's reported values and ready-made
+switching profiles."""
+
+from .motivational import (
+    DISTURBED_STATE,
+    REQUIREMENT_SAMPLES,
+    REQUIREMENT_SECONDS,
+    SAMPLING_PERIOD,
+    dc_servo_plant,
+    et_gain_stable,
+    et_gain_unstable,
+    tt_gain,
+)
+from .paper_tables import (
+    PAPER_BASELINE_PARTITION,
+    PAPER_FIG2_SETTLING_SECONDS,
+    PAPER_FIRST_FIT_ORDER,
+    PAPER_PROPOSED_PARTITION,
+    PAPER_SLOT_SAVINGS,
+    PAPER_TABLE1,
+    PAPER_VERIFICATION_SPEEDUP,
+    PaperTableRow,
+    paper_row,
+)
+from .plants import (
+    CaseStudyApplication,
+    all_applications,
+    application,
+    application_c1,
+    application_c2,
+    application_c3,
+    application_c4,
+    application_c5,
+    application_c6,
+)
+from .profiles import computed_profile, computed_profiles, paper_profile, paper_profiles
+
+__all__ = [
+    "SAMPLING_PERIOD",
+    "REQUIREMENT_SECONDS",
+    "REQUIREMENT_SAMPLES",
+    "DISTURBED_STATE",
+    "dc_servo_plant",
+    "tt_gain",
+    "et_gain_stable",
+    "et_gain_unstable",
+    "CaseStudyApplication",
+    "all_applications",
+    "application",
+    "application_c1",
+    "application_c2",
+    "application_c3",
+    "application_c4",
+    "application_c5",
+    "application_c6",
+    "PaperTableRow",
+    "paper_row",
+    "PAPER_TABLE1",
+    "PAPER_FIRST_FIT_ORDER",
+    "PAPER_PROPOSED_PARTITION",
+    "PAPER_BASELINE_PARTITION",
+    "PAPER_SLOT_SAVINGS",
+    "PAPER_FIG2_SETTLING_SECONDS",
+    "PAPER_VERIFICATION_SPEEDUP",
+    "paper_profile",
+    "paper_profiles",
+    "computed_profile",
+    "computed_profiles",
+]

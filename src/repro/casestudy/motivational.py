@@ -1,0 +1,61 @@
+"""The motivational DC-servo example of paper Sec. 3.1.
+
+A DC motor position control system [13] with the discrete-time model of
+Eq. (6), sampled at ``h = 0.02 s``.  Three controllers are given:
+
+* ``K_T``  (Eq. (7)) — the fast mode-``MT`` gain,
+* ``K^s_E`` (Eq. (8)) — a mode-``ME`` gain that is switching-stable with ``K_T``,
+* ``K^u_E`` (Eq. (9)) — a mode-``ME`` gain that is *not* switching-stable with ``K_T``.
+
+The example is used for Figs. 2-4 of the paper: single-mode response curves,
+the settling-time surface over (Tw, Tdw) with and without switching
+stability, and the dwell-time table for ``J* = 0.36 s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..control.design import gain_from_paper
+from ..control.lti import DiscreteLTISystem
+
+#: Sampling period used throughout the paper's experiments.
+SAMPLING_PERIOD = 0.02
+
+#: Settling requirement of the motivational example (seconds).
+REQUIREMENT_SECONDS = 0.36
+
+#: Settling requirement of the motivational example (samples).
+REQUIREMENT_SAMPLES = 18
+
+#: Disturbed plant state used in the paper: the position jumps to 1.
+DISTURBED_STATE = np.array([1.0, 0.0, 0.0])
+
+
+def dc_servo_plant() -> DiscreteLTISystem:
+    """The DC motor position-control plant of Eq. (6)."""
+    phi = np.array(
+        [
+            [1.0, 0.0182, 0.0068],
+            [0.0, 0.7664, 0.5186],
+            [0.0, -0.3260, 0.1011],
+        ]
+    )
+    gamma = np.array([[0.0015], [0.1944], [0.2717]])
+    c = np.array([[1.0, 0.0, 0.0]])
+    return DiscreteLTISystem(phi, gamma, c, SAMPLING_PERIOD, name="dc-servo")
+
+
+def tt_gain() -> np.ndarray:
+    """``K_T`` of Eq. (7): the fast time-triggered mode gain."""
+    return gain_from_paper([30.0, 1.2626, 1.1071])
+
+
+def et_gain_stable() -> np.ndarray:
+    """``K^s_E`` of Eq. (8): ET gain that is switching-stable with ``K_T``."""
+    return gain_from_paper([13.8921, 0.5773, 0.8672, 1.0866])
+
+
+def et_gain_unstable() -> np.ndarray:
+    """``K^u_E`` of Eq. (9): ET gain that is *not* switching-stable with ``K_T``."""
+    return gain_from_paper([2.9120, -0.6141, -1.0399, 0.1741])

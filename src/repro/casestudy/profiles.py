@@ -1,0 +1,71 @@
+"""Switching profiles for the case-study applications.
+
+Two profile sources are provided:
+
+* :func:`paper_profiles` — profiles built directly from the dwell arrays
+  printed in Table 1 of the paper.  These are the inputs used to regenerate
+  the paper's mapping and verification experiments exactly as published.
+* :func:`computed_profiles` — profiles recomputed from scratch with
+  :class:`repro.switching.DwellTimeAnalyzer` on the case-study plants and
+  gains.  These exercise the full analysis pipeline and are compared against
+  the paper values in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..switching.dwell import DwellAnalysisConfig, DwellTimeAnalyzer
+from ..switching.profile import SwitchingProfile
+from .paper_tables import PAPER_TABLE1
+from .plants import CaseStudyApplication, all_applications
+
+
+def paper_profile(name: str, sampling_period: float = 0.02) -> SwitchingProfile:
+    """Build the switching profile of one application from the paper's Table 1."""
+    row = PAPER_TABLE1[name]
+    return SwitchingProfile.from_arrays(
+        name=row.name,
+        requirement_samples=row.requirement,
+        min_inter_arrival=row.min_inter_arrival,
+        min_dwell=row.min_dwell,
+        max_dwell=row.max_dwell,
+        tt_settling_samples=row.tt_settling,
+        et_settling_samples=row.et_settling,
+        sampling_period=sampling_period,
+    )
+
+
+def paper_profiles(names: Optional[Iterable[str]] = None) -> Dict[str, SwitchingProfile]:
+    """Profiles for all (or selected) applications, using the paper's dwell arrays."""
+    selected = list(names) if names is not None else sorted(PAPER_TABLE1)
+    return {name: paper_profile(name) for name in selected}
+
+
+def computed_profile(
+    application: CaseStudyApplication,
+    config: Optional[DwellAnalysisConfig] = None,
+) -> SwitchingProfile:
+    """Recompute the switching profile of one application from its plant and gains."""
+    analyzer = DwellTimeAnalyzer(
+        plant=application.plant,
+        tt_gain=application.kt,
+        et_gain=application.ke,
+        disturbed_state=application.disturbed_state,
+        config=config,
+    )
+    return analyzer.build_profile(
+        name=application.name,
+        requirement_samples=application.requirement_samples,
+        min_inter_arrival=application.min_inter_arrival,
+    )
+
+
+def computed_profiles(
+    names: Optional[Iterable[str]] = None,
+    config: Optional[DwellAnalysisConfig] = None,
+) -> Dict[str, SwitchingProfile]:
+    """Recompute profiles for all (or selected) case-study applications."""
+    applications = all_applications()
+    selected = list(names) if names is not None else sorted(applications)
+    return {name: computed_profile(applications[name], config) for name in selected}

@@ -1,0 +1,123 @@
+"""Delayed-input plant augmentation for event-triggered communication.
+
+When control data is transmitted over the FlexRay dynamic segment (the
+event-triggered, low-quality resource) the paper assumes a worst-case
+sensing-to-actuation delay of one sampling period: at instant ``t[k]`` the
+plant receives ``u[k-1]`` and holds it until ``t[k+1]``.  Eq. (4) of the
+paper gives the resulting plant model
+
+    x[k+1] = Phi x[k] + Gamma u[k-1]
+
+which, with the augmented state ``z[k] = [x[k]; u[k-1]]``, becomes a standard
+LTI system suitable for pole placement (Eq. (5)):
+
+    z[k+1] = Phi_a z[k] + Gamma_a u[k]
+    Phi_a  = [[Phi, Gamma], [0, 0]],  Gamma_a = [[0], [I]]
+
+This module builds that augmented system and converts feedback gains between
+the augmented and physical coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_matrix
+from ..exceptions import DimensionError
+from .lti import DiscreteLTISystem
+
+
+def augment_with_input_delay(plant: DiscreteLTISystem, name: str = None) -> DiscreteLTISystem:
+    """Build the one-sample-delay augmented system of Eq. (4)/(5).
+
+    Args:
+        plant: the delay-free plant ``(Phi, Gamma, C)``.
+        name: optional name; defaults to ``"<plant.name>+delay"``.
+
+    Returns:
+        A :class:`DiscreteLTISystem` with state ``z = [x; u_prev]`` of
+        dimension ``n + m``, where the output matrix is padded with zeros so
+        that the output still equals ``C x``.
+    """
+    n = plant.state_dimension
+    m = plant.input_dimension
+    p = plant.output_dimension
+
+    phi_aug = np.zeros((n + m, n + m))
+    phi_aug[:n, :n] = plant.phi
+    phi_aug[:n, n:] = plant.gamma
+
+    gamma_aug = np.zeros((n + m, m))
+    gamma_aug[n:, :] = np.eye(m)
+
+    c_aug = np.zeros((p, n + m))
+    c_aug[:, :n] = plant.c
+
+    return DiscreteLTISystem(
+        phi_aug,
+        gamma_aug,
+        c_aug,
+        plant.sampling_period,
+        name or f"{plant.name}+delay",
+    )
+
+
+def split_augmented_state(state: np.ndarray, plant: DiscreteLTISystem) -> tuple:
+    """Split an augmented state ``z = [x; u_prev]`` into ``(x, u_prev)``."""
+    z = np.asarray(state, dtype=float).reshape(-1)
+    n = plant.state_dimension
+    m = plant.input_dimension
+    if z.size != n + m:
+        raise DimensionError(
+            f"augmented state has size {z.size}, expected {n + m} for plant {plant.name!r}"
+        )
+    return z[:n].copy(), z[n:].copy()
+
+
+def join_augmented_state(x: np.ndarray, u_prev: np.ndarray, plant: DiscreteLTISystem) -> np.ndarray:
+    """Assemble the augmented state ``z = [x; u_prev]`` from its components."""
+    x = np.asarray(x, dtype=float).reshape(-1)
+    u_prev = np.asarray(u_prev, dtype=float).reshape(-1)
+    if x.size != plant.state_dimension:
+        raise DimensionError(
+            f"x has size {x.size}, expected {plant.state_dimension} for plant {plant.name!r}"
+        )
+    if u_prev.size != plant.input_dimension:
+        raise DimensionError(
+            f"u_prev has size {u_prev.size}, expected {plant.input_dimension} for plant {plant.name!r}"
+        )
+    return np.concatenate([x, u_prev])
+
+
+def closed_loop_matrix_delayed(plant: DiscreteLTISystem, gain: np.ndarray) -> np.ndarray:
+    """Closed-loop matrix of the delayed mode ``ME`` in augmented coordinates.
+
+    With ``u[k] = -K_E z[k]`` the augmented dynamics are
+    ``z[k+1] = (Phi_a - Gamma_a K_E) z[k]``.
+
+    Args:
+        plant: the delay-free plant.
+        gain: the augmented feedback gain ``K_E`` of shape (m, n + m).
+
+    Returns:
+        The (n + m) x (n + m) closed-loop matrix.
+    """
+    gain = as_matrix(gain, "K_E")
+    augmented = augment_with_input_delay(plant)
+    if gain.shape != (plant.input_dimension, augmented.state_dimension):
+        raise DimensionError(
+            f"K_E has shape {gain.shape}, expected "
+            f"({plant.input_dimension}, {augmented.state_dimension})"
+        )
+    return augmented.phi - augmented.gamma @ gain
+
+
+def closed_loop_matrix_direct(plant: DiscreteLTISystem, gain: np.ndarray) -> np.ndarray:
+    """Closed-loop matrix of the delay-free mode ``MT``: ``Phi - Gamma K_T``."""
+    gain = as_matrix(gain, "K_T")
+    if gain.shape != (plant.input_dimension, plant.state_dimension):
+        raise DimensionError(
+            f"K_T has shape {gain.shape}, expected "
+            f"({plant.input_dimension}, {plant.state_dimension})"
+        )
+    return plant.phi - plant.gamma @ gain

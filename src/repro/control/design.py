@@ -1,0 +1,235 @@
+"""Controller design for the time-triggered and event-triggered modes.
+
+The paper designs a fast state-feedback controller ``K_T`` for the
+time-triggered mode (negligible sensing-to-actuation delay, Eq. (2)) and a
+slower controller ``K_E`` for the event-triggered mode (one-sample delay,
+Eq. (5)).  Both are standard state-feedback designs on, respectively, the
+original plant and the input-delay augmented plant.
+
+This module implements:
+
+* pole-placement design (via :func:`scipy.signal.place_poles`),
+* discrete-time LQR design (via the discrete algebraic Riccati equation),
+* deadbeat design (all poles at the origin), and
+* convenience wrappers :func:`design_tt_controller` /
+  :func:`design_et_controller` that follow the paper's naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+from scipy import linalg as sla
+from scipy import signal as ssig
+
+from .._validation import as_matrix
+from ..exceptions import DesignError, DimensionError
+from .augmentation import augment_with_input_delay
+from .lti import DiscreteLTISystem
+
+
+@dataclass(frozen=True)
+class StateFeedbackDesign:
+    """Result of a state-feedback design.
+
+    Attributes:
+        gain: the feedback gain ``K`` such that ``u = -K x`` (or ``-K z`` for
+            the augmented plant).
+        closed_loop_matrix: the closed-loop state matrix ``Phi - Gamma K``.
+        closed_loop_poles: eigenvalues of the closed-loop matrix.
+        method: the design method used ("pole_placement", "lqr", "deadbeat").
+    """
+
+    gain: np.ndarray
+    closed_loop_matrix: np.ndarray
+    closed_loop_poles: np.ndarray
+    method: str
+
+    @property
+    def spectral_radius(self) -> float:
+        """Largest closed-loop eigenvalue magnitude."""
+        return float(np.max(np.abs(self.closed_loop_poles)))
+
+    def is_stable(self, tol: float = 1e-9) -> bool:
+        """Whether the closed loop is Schur stable."""
+        return self.spectral_radius < 1.0 - tol
+
+
+def _closed_loop(plant: DiscreteLTISystem, gain: np.ndarray) -> np.ndarray:
+    return plant.phi - plant.gamma @ gain
+
+
+def place_poles(plant: DiscreteLTISystem, poles: Sequence[complex]) -> StateFeedbackDesign:
+    """Design a state-feedback gain placing the closed-loop poles.
+
+    Args:
+        plant: the plant to control (delay-free or augmented).
+        poles: desired closed-loop eigenvalues; must have exactly ``n``
+            entries (``n`` the plant state dimension).
+
+    Returns:
+        The :class:`StateFeedbackDesign` with the computed gain.
+
+    Raises:
+        DesignError: if the plant is uncontrollable or the placement fails.
+    """
+    desired = np.asarray(list(poles), dtype=complex)
+    if desired.size != plant.state_dimension:
+        raise DimensionError(
+            f"expected {plant.state_dimension} poles, got {desired.size}"
+        )
+    if not plant.is_controllable():
+        raise DesignError(f"plant {plant.name!r} is not controllable; cannot place poles")
+    try:
+        result = ssig.place_poles(plant.phi, plant.gamma, desired)
+    except ValueError as exc:
+        raise DesignError(f"pole placement failed for plant {plant.name!r}: {exc}") from exc
+    gain = np.atleast_2d(result.gain_matrix)
+    closed = _closed_loop(plant, gain)
+    return StateFeedbackDesign(
+        gain=gain,
+        closed_loop_matrix=closed,
+        closed_loop_poles=np.linalg.eigvals(closed),
+        method="pole_placement",
+    )
+
+
+def lqr(
+    plant: DiscreteLTISystem,
+    state_weight: Optional[np.ndarray] = None,
+    input_weight: Optional[np.ndarray] = None,
+) -> StateFeedbackDesign:
+    """Discrete-time LQR design via the discrete algebraic Riccati equation.
+
+    Args:
+        plant: the plant to control.
+        state_weight: symmetric positive semi-definite ``Q`` (default: identity).
+        input_weight: symmetric positive definite ``R`` (default: identity).
+
+    Returns:
+        The optimal state-feedback design ``u = -K x``.
+
+    Raises:
+        DesignError: if the Riccati equation cannot be solved.
+    """
+    n = plant.state_dimension
+    m = plant.input_dimension
+    q = as_matrix(state_weight if state_weight is not None else np.eye(n), "Q")
+    r = as_matrix(input_weight if input_weight is not None else np.eye(m), "R")
+    if q.shape != (n, n):
+        raise DimensionError(f"Q must be {n}x{n}, got {q.shape}")
+    if r.shape != (m, m):
+        raise DimensionError(f"R must be {m}x{m}, got {r.shape}")
+    try:
+        p = sla.solve_discrete_are(plant.phi, plant.gamma, q, r)
+    except (np.linalg.LinAlgError, ValueError) as exc:
+        raise DesignError(f"DARE solution failed for plant {plant.name!r}: {exc}") from exc
+    gain = np.linalg.solve(r + plant.gamma.T @ p @ plant.gamma, plant.gamma.T @ p @ plant.phi)
+    gain = np.atleast_2d(gain)
+    closed = _closed_loop(plant, gain)
+    return StateFeedbackDesign(
+        gain=gain,
+        closed_loop_matrix=closed,
+        closed_loop_poles=np.linalg.eigvals(closed),
+        method="lqr",
+    )
+
+
+def deadbeat(plant: DiscreteLTISystem, radius: float = 0.0) -> StateFeedbackDesign:
+    """Deadbeat-style design placing all closed-loop poles on a small circle.
+
+    A true deadbeat design places every pole exactly at the origin; numerical
+    pole placement requires distinct poles, so the poles are spread evenly on
+    a circle of radius ``radius`` (``radius=0`` is approximated with a tiny
+    circle).
+
+    Args:
+        plant: the plant to control.
+        radius: radius of the pole circle (0 <= radius < 1).
+
+    Returns:
+        The resulting :class:`StateFeedbackDesign` (method ``"deadbeat"``).
+    """
+    if not 0 <= radius < 1:
+        raise DesignError(f"deadbeat radius must be in [0, 1), got {radius}")
+    n = plant.state_dimension
+    effective_radius = max(radius, 1e-3)
+    angles = np.linspace(0.0, np.pi, n, endpoint=False)
+    poles = []
+    for index, angle in enumerate(angles):
+        # Alternate signs to keep the pole set closed under conjugation for
+        # real gain matrices: use +/- small real values.
+        offset = effective_radius * (0.5 + 0.5 * index / max(n - 1, 1))
+        poles.append(offset if index % 2 == 0 else -offset)
+    design = place_poles(plant, poles)
+    return StateFeedbackDesign(
+        gain=design.gain,
+        closed_loop_matrix=design.closed_loop_matrix,
+        closed_loop_poles=design.closed_loop_poles,
+        method="deadbeat",
+    )
+
+
+def design_tt_controller(
+    plant: DiscreteLTISystem,
+    poles: Optional[Sequence[complex]] = None,
+    state_weight: Optional[np.ndarray] = None,
+    input_weight: Optional[np.ndarray] = None,
+) -> StateFeedbackDesign:
+    """Design the fast mode-``MT`` controller ``K_T`` for the delay-free plant.
+
+    When ``poles`` is given, pole placement is used; otherwise an LQR design
+    with the supplied (or identity) weights is produced.  The paper uses
+    optimisation-driven pole placement [2]; LQR is the standard stand-in when
+    no pole set is specified.
+    """
+    if poles is not None:
+        return place_poles(plant, poles)
+    return lqr(plant, state_weight, input_weight)
+
+
+def design_et_controller(
+    plant: DiscreteLTISystem,
+    poles: Optional[Sequence[complex]] = None,
+    state_weight: Optional[np.ndarray] = None,
+    input_weight: Optional[np.ndarray] = None,
+) -> StateFeedbackDesign:
+    """Design the slow mode-``ME`` controller ``K_E`` on the augmented plant.
+
+    The returned gain has shape ``(m, n + m)`` and acts on the augmented
+    state ``z = [x; u_prev]`` (Eq. (5) of the paper).
+    """
+    augmented = augment_with_input_delay(plant)
+    if poles is not None:
+        return place_poles(augmented, poles)
+    n = plant.state_dimension
+    m = plant.input_dimension
+    if state_weight is None:
+        state_weight = np.eye(n + m)
+    elif np.asarray(state_weight).shape == (n, n):
+        # Pad a physical-state weight with a small weight on the held input.
+        padded = np.zeros((n + m, n + m))
+        padded[:n, :n] = np.asarray(state_weight, dtype=float)
+        padded[n:, n:] = 1e-6 * np.eye(m)
+        state_weight = padded
+    return lqr(augmented, state_weight, input_weight)
+
+
+def scaled_pole_set(plant: DiscreteLTISystem, factor: float) -> np.ndarray:
+    """Scale the open-loop poles towards the origin by ``factor``.
+
+    A convenient way to generate "faster" closed-loop pole targets: each
+    open-loop pole magnitude is multiplied by ``factor`` (phase preserved).
+    Poles already at the origin are left untouched.
+    """
+    if not 0 <= factor <= 1:
+        raise DesignError(f"pole scaling factor must be in [0, 1], got {factor}")
+    poles = plant.eigenvalues()
+    return poles * factor
+
+
+def gain_from_paper(values: Iterable[float]) -> np.ndarray:
+    """Convert a flat list of gain entries (as printed in the paper) to a 1 x n matrix."""
+    return np.atleast_2d(np.asarray(list(values), dtype=float))

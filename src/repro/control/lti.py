@@ -1,0 +1,236 @@
+"""Discrete-time linear time-invariant (LTI) plant models.
+
+The paper (Sec. 2) models every plant as a discrete-time LTI system
+
+    x[k+1] = Phi x[k] + Gamma u[k],      y[k] = C x[k]
+
+sampled with a constant period ``h``.  This module provides the
+:class:`DiscreteLTISystem` container together with basic analysis helpers
+(stability, controllability, observability, free/forced responses) used by
+the controller-design and switching-strategy layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import as_matrix, require_positive, require_square
+from ..exceptions import DimensionError, SimulationError
+
+
+@dataclass(frozen=True)
+class DiscreteLTISystem:
+    """A discrete-time LTI system ``x[k+1] = phi x[k] + gamma u[k], y = C x``.
+
+    Attributes:
+        phi: state matrix (n x n).
+        gamma: input matrix (n x m).
+        c: output matrix (p x n).
+        sampling_period: sampling period ``h`` in seconds.
+        name: optional human-readable identifier.
+    """
+
+    phi: np.ndarray
+    gamma: np.ndarray
+    c: np.ndarray
+    sampling_period: float = 0.02
+    name: str = "plant"
+
+    def __post_init__(self) -> None:
+        phi = require_square(as_matrix(self.phi, "phi"), "phi")
+        gamma = as_matrix(self.gamma, "gamma")
+        c = as_matrix(self.c, "c")
+        if gamma.shape[0] == 1 and phi.shape[0] > 1 and gamma.shape[1] == phi.shape[0]:
+            # Accept a row vector for single-input plants supplied as 1 x n.
+            gamma = gamma.T
+        if gamma.shape[0] != phi.shape[0]:
+            raise DimensionError(
+                f"gamma has {gamma.shape[0]} rows but phi is {phi.shape[0]}x{phi.shape[1]}"
+            )
+        if c.shape[1] != phi.shape[0]:
+            raise DimensionError(
+                f"c has {c.shape[1]} columns but phi is {phi.shape[0]}x{phi.shape[1]}"
+            )
+        object.__setattr__(self, "phi", phi)
+        object.__setattr__(self, "gamma", gamma)
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "sampling_period", require_positive(self.sampling_period, "sampling_period"))
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def state_dimension(self) -> int:
+        """Number of plant states ``n``."""
+        return self.phi.shape[0]
+
+    @property
+    def input_dimension(self) -> int:
+        """Number of control inputs ``m``."""
+        return self.gamma.shape[1]
+
+    @property
+    def output_dimension(self) -> int:
+        """Number of measured outputs ``p``."""
+        return self.c.shape[0]
+
+    # --------------------------------------------------------------- analysis
+    def eigenvalues(self) -> np.ndarray:
+        """Eigenvalues of the open-loop state matrix ``phi``."""
+        return np.linalg.eigvals(self.phi)
+
+    def spectral_radius(self) -> float:
+        """Largest eigenvalue magnitude of ``phi``."""
+        return float(np.max(np.abs(self.eigenvalues())))
+
+    def is_stable(self, tol: float = 1e-9) -> bool:
+        """Whether the open-loop plant is Schur stable (all |eig| < 1)."""
+        return self.spectral_radius() < 1.0 - tol
+
+    def controllability_matrix(self) -> np.ndarray:
+        """The controllability matrix ``[Gamma, Phi Gamma, ..., Phi^{n-1} Gamma]``."""
+        n = self.state_dimension
+        blocks = []
+        block = self.gamma
+        for _ in range(n):
+            blocks.append(block)
+            block = self.phi @ block
+        return np.hstack(blocks)
+
+    def observability_matrix(self) -> np.ndarray:
+        """The observability matrix ``[C; C Phi; ...; C Phi^{n-1}]``."""
+        n = self.state_dimension
+        blocks = []
+        block = self.c
+        for _ in range(n):
+            blocks.append(block)
+            block = block @ self.phi
+        return np.vstack(blocks)
+
+    def is_controllable(self, tol: Optional[float] = None) -> bool:
+        """Whether the pair ``(phi, gamma)`` is controllable."""
+        matrix = self.controllability_matrix()
+        rank = np.linalg.matrix_rank(matrix, tol=tol)
+        return bool(rank == self.state_dimension)
+
+    def is_observable(self, tol: Optional[float] = None) -> bool:
+        """Whether the pair ``(phi, c)`` is observable."""
+        matrix = self.observability_matrix()
+        rank = np.linalg.matrix_rank(matrix, tol=tol)
+        return bool(rank == self.state_dimension)
+
+    # ------------------------------------------------------------- simulation
+    def step(self, state: np.ndarray, control: np.ndarray) -> np.ndarray:
+        """One simulation step: return ``phi @ state + gamma @ control``."""
+        state = np.asarray(state, dtype=float).reshape(self.state_dimension)
+        control = np.asarray(control, dtype=float).reshape(self.input_dimension)
+        return self.phi @ state + self.gamma @ control
+
+    def output(self, state: np.ndarray) -> np.ndarray:
+        """Measured output ``C x`` for a given state."""
+        state = np.asarray(state, dtype=float).reshape(self.state_dimension)
+        return self.c @ state
+
+    def free_response(self, initial_state: np.ndarray, steps: int) -> np.ndarray:
+        """Simulate the autonomous system (zero input) for ``steps`` samples.
+
+        Returns an array of shape ``(steps + 1, n)`` whose first row is the
+        initial state.
+        """
+        if steps < 0:
+            raise SimulationError(f"steps must be non-negative, got {steps}")
+        state = np.asarray(initial_state, dtype=float).reshape(self.state_dimension)
+        trajectory = np.empty((steps + 1, self.state_dimension))
+        trajectory[0] = state
+        for k in range(steps):
+            state = self.phi @ state
+            trajectory[k + 1] = state
+        return trajectory
+
+    def forced_response(
+        self,
+        initial_state: np.ndarray,
+        inputs: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """Simulate the plant driven by an explicit input sequence.
+
+        Args:
+            initial_state: state at sample 0.
+            inputs: sequence of control inputs ``u[0], ..., u[N-1]``.
+
+        Returns:
+            State trajectory of shape ``(N + 1, n)``.
+        """
+        state = np.asarray(initial_state, dtype=float).reshape(self.state_dimension)
+        trajectory = np.empty((len(inputs) + 1, self.state_dimension))
+        trajectory[0] = state
+        for k, control in enumerate(inputs):
+            state = self.step(state, control)
+            trajectory[k + 1] = state
+        return trajectory
+
+    def outputs_of(self, states: np.ndarray) -> np.ndarray:
+        """Map a state trajectory ``(N, n)`` to the output trajectory ``(N, p)``."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        if states.shape[1] != self.state_dimension:
+            raise DimensionError(
+                f"state trajectory has {states.shape[1]} columns, expected {self.state_dimension}"
+            )
+        return states @ self.c.T
+
+    # -------------------------------------------------------------- utilities
+    def with_name(self, name: str) -> "DiscreteLTISystem":
+        """Return a copy of the system with a different ``name``."""
+        return DiscreteLTISystem(self.phi, self.gamma, self.c, self.sampling_period, name)
+
+    def time_axis(self, samples: int) -> np.ndarray:
+        """Return the time instants ``0, h, 2h, ...`` for ``samples`` samples."""
+        return np.arange(samples) * self.sampling_period
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiscreteLTISystem(name={self.name!r}, n={self.state_dimension}, "
+            f"m={self.input_dimension}, p={self.output_dimension}, h={self.sampling_period})"
+        )
+
+
+def zero_order_hold(
+    a_continuous: np.ndarray,
+    b_continuous: np.ndarray,
+    c: np.ndarray,
+    sampling_period: float,
+    name: str = "plant",
+) -> DiscreteLTISystem:
+    """Discretise a continuous-time LTI system with a zero-order hold.
+
+    Computes ``phi = expm(A h)`` and ``gamma = \\int_0^h expm(A s) ds B`` using
+    the standard augmented-matrix exponential trick.
+
+    Args:
+        a_continuous: continuous-time state matrix ``A``.
+        b_continuous: continuous-time input matrix ``B``.
+        c: output matrix (shared between continuous and discrete models).
+        sampling_period: the sampling period ``h``.
+        name: name for the resulting discrete system.
+
+    Returns:
+        The zero-order-hold discretisation as a :class:`DiscreteLTISystem`.
+    """
+    from scipy.linalg import expm
+
+    a = require_square(as_matrix(a_continuous, "A"), "A")
+    b = as_matrix(b_continuous, "B")
+    if b.shape[0] != a.shape[0]:
+        b = b.T
+    if b.shape[0] != a.shape[0]:
+        raise DimensionError(f"B has incompatible shape {b.shape} for A {a.shape}")
+    h = require_positive(sampling_period, "sampling_period")
+    n, m = a.shape[0], b.shape[1]
+    block = np.zeros((n + m, n + m))
+    block[:n, :n] = a
+    block[:n, n:] = b
+    exp_block = expm(block * h)
+    phi = exp_block[:n, :n]
+    gamma = exp_block[:n, n:]
+    return DiscreteLTISystem(phi, gamma, c, h, name)

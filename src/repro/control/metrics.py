@@ -1,0 +1,148 @@
+"""Control-performance metrics.
+
+The paper's performance metric is the *settling time* ``J``: the time taken
+after a disturbance until the system output stays within a band around the
+steady-state value (Sec. 3 and the motivational example use
+``||y[k]|| <= 0.02`` for all ``k >= J``).  Additional standard metrics
+(overshoot, integral errors, quadratic cost) are provided for the extended
+analyses and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import SimulationError
+
+#: Default settling band used throughout the paper's experiments.
+DEFAULT_SETTLING_THRESHOLD = 0.02
+
+
+@dataclass(frozen=True)
+class SettlingTimeResult:
+    """Settling-time measurement for one output trajectory.
+
+    Attributes:
+        settled: whether the trajectory settles within the horizon.
+        samples: first sample index ``J`` such that ``||y[k]|| <= threshold``
+            for every ``k >= J`` within the horizon; ``None`` when not settled.
+        seconds: ``samples * sampling_period`` when settled, otherwise ``None``.
+        threshold: the settling band used.
+    """
+
+    settled: bool
+    samples: Optional[int]
+    seconds: Optional[float]
+    threshold: float
+
+    def __bool__(self) -> bool:
+        return self.settled
+
+
+def settling_time(
+    outputs: np.ndarray,
+    threshold: float = DEFAULT_SETTLING_THRESHOLD,
+    sampling_period: Optional[float] = None,
+    reference: float = 0.0,
+) -> SettlingTimeResult:
+    """Compute the settling time of an output trajectory.
+
+    The settling time is the earliest sample ``J`` such that the output norm
+    stays within ``threshold`` of ``reference`` for every subsequent sample
+    in the trajectory.  Following the paper, the trajectory is assumed long
+    enough that remaining within the band at the end of the horizon implies
+    the system has truly settled (the closed-loop systems are stable).
+
+    Args:
+        outputs: array of shape ``(N,)`` or ``(N, p)`` with the output samples.
+        threshold: the settling band (default 0.02, as in the paper).
+        sampling_period: when given, the result also reports seconds.
+        reference: steady-state value the output should settle to.
+
+    Returns:
+        A :class:`SettlingTimeResult`.
+    """
+    y = np.asarray(outputs, dtype=float)
+    if y.ndim == 1:
+        deviations = np.abs(y - reference)
+    elif y.ndim == 2:
+        deviations = np.linalg.norm(y - reference, axis=1)
+    else:
+        raise SimulationError(f"outputs must be 1-D or 2-D, got ndim={y.ndim}")
+    if deviations.size == 0:
+        raise SimulationError("outputs trajectory is empty")
+
+    within = deviations <= threshold
+    if not within[-1]:
+        return SettlingTimeResult(False, None, None, threshold)
+
+    # Find the last sample that violates the band; settling starts right after.
+    violations = np.nonzero(~within)[0]
+    settle_sample = 0 if violations.size == 0 else int(violations[-1]) + 1
+    seconds = settle_sample * sampling_period if sampling_period is not None else None
+    return SettlingTimeResult(True, settle_sample, seconds, threshold)
+
+
+def overshoot(outputs: np.ndarray, reference: float = 0.0) -> float:
+    """Maximum absolute deviation of the output from the reference."""
+    y = np.asarray(outputs, dtype=float)
+    if y.ndim == 2:
+        deviations = np.linalg.norm(y - reference, axis=1)
+    else:
+        deviations = np.abs(y - reference)
+    if deviations.size == 0:
+        raise SimulationError("outputs trajectory is empty")
+    return float(np.max(deviations))
+
+
+def integral_absolute_error(outputs: np.ndarray, sampling_period: float, reference: float = 0.0) -> float:
+    """Integral of the absolute output error, approximated by the left Riemann sum."""
+    y = np.asarray(outputs, dtype=float)
+    if y.ndim == 2:
+        deviations = np.linalg.norm(y - reference, axis=1)
+    else:
+        deviations = np.abs(y - reference)
+    return float(np.sum(deviations) * sampling_period)
+
+
+def integral_squared_error(outputs: np.ndarray, sampling_period: float, reference: float = 0.0) -> float:
+    """Integral of the squared output error, approximated by the left Riemann sum."""
+    y = np.asarray(outputs, dtype=float)
+    if y.ndim == 2:
+        deviations = np.linalg.norm(y - reference, axis=1)
+    else:
+        deviations = np.abs(y - reference)
+    return float(np.sum(deviations**2) * sampling_period)
+
+
+def quadratic_cost(
+    states: np.ndarray,
+    inputs: np.ndarray,
+    state_weight: np.ndarray,
+    input_weight: np.ndarray,
+) -> float:
+    """Finite-horizon LQR-style cost ``sum_k x_k' Q x_k + u_k' R u_k``."""
+    x = np.atleast_2d(np.asarray(states, dtype=float))
+    u = np.atleast_2d(np.asarray(inputs, dtype=float))
+    q = np.asarray(state_weight, dtype=float)
+    r = np.asarray(input_weight, dtype=float)
+    cost = 0.0
+    for row in x:
+        cost += float(row @ q @ row)
+    for row in u:
+        cost += float(row @ r @ row)
+    return cost
+
+
+def samples_to_seconds(samples: int, sampling_period: float) -> float:
+    """Convert a sample count to seconds."""
+    return float(samples) * float(sampling_period)
+
+
+def seconds_to_samples(seconds: float, sampling_period: float) -> int:
+    """Convert a duration in seconds to an integer number of samples (ceiling)."""
+    ratio = float(seconds) / float(sampling_period)
+    return int(np.ceil(ratio - 1e-9))

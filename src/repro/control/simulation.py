@@ -1,0 +1,250 @@
+"""Closed-loop simulation of the two communication-dependent control modes.
+
+Mode ``MT`` (time-triggered slot): negligible sensing-to-actuation delay,
+``u[k] = -K_T x[k]`` applied within the same sample (Eqs. (1)-(3)).
+
+Mode ``ME`` (event-triggered / dynamic segment): one-sample worst-case delay,
+``u[k] = -K_E [x[k]; u[k-1]]`` applied at the *next* sample (Eqs. (4)-(5)).
+
+The simulator keeps the pair ``(x, u_prev)`` as its full state so that an
+arbitrary interleaving of the two modes — exactly what the switching
+strategy produces — can be simulated sample by sample without any loss of
+information at the mode boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import as_matrix
+from ..exceptions import DimensionError, SimulationError
+from .lti import DiscreteLTISystem
+from .metrics import DEFAULT_SETTLING_THRESHOLD, SettlingTimeResult, settling_time
+
+
+@dataclass(frozen=True)
+class ClosedLoopTrajectory:
+    """Result of a closed-loop simulation.
+
+    Attributes:
+        states: plant states, shape ``(N + 1, n)`` (includes the initial state).
+        inputs: applied control inputs, shape ``(N, m)``.
+        outputs: plant outputs, shape ``(N + 1, p)``.
+        modes: the mode label used at each of the ``N`` simulated samples
+            ("TT" or "ET"); empty for single-mode simulations run through
+            :func:`simulate_direct_feedback` / :func:`simulate_delayed_feedback`.
+        sampling_period: the plant sampling period.
+    """
+
+    states: np.ndarray
+    inputs: np.ndarray
+    outputs: np.ndarray
+    modes: tuple
+    sampling_period: float
+
+    @property
+    def samples(self) -> int:
+        """Number of simulated steps ``N``."""
+        return self.inputs.shape[0]
+
+    def time_axis(self) -> np.ndarray:
+        """Time instants of the state/output samples."""
+        return np.arange(self.states.shape[0]) * self.sampling_period
+
+    def settling(
+        self,
+        threshold: float = DEFAULT_SETTLING_THRESHOLD,
+        reference: float = 0.0,
+    ) -> SettlingTimeResult:
+        """Settling time of the output trajectory."""
+        return settling_time(
+            self.outputs,
+            threshold=threshold,
+            sampling_period=self.sampling_period,
+            reference=reference,
+        )
+
+
+class ClosedLoopSimulator:
+    """Sample-by-sample simulator of the bi-modal closed loop.
+
+    Args:
+        plant: the delay-free plant model.
+        tt_gain: feedback gain ``K_T`` of shape (m, n) used in mode ``MT``.
+        et_gain: feedback gain ``K_E`` of shape (m, n + m) used in mode ``ME``.
+    """
+
+    TT = "TT"
+    ET = "ET"
+
+    def __init__(
+        self,
+        plant: DiscreteLTISystem,
+        tt_gain: Optional[np.ndarray] = None,
+        et_gain: Optional[np.ndarray] = None,
+    ) -> None:
+        self.plant = plant
+        n = plant.state_dimension
+        m = plant.input_dimension
+        self._tt_gain = None
+        self._et_gain = None
+        if tt_gain is not None:
+            tt_gain = as_matrix(tt_gain, "K_T")
+            if tt_gain.shape != (m, n):
+                raise DimensionError(f"K_T must be {m}x{n}, got {tt_gain.shape}")
+            self._tt_gain = tt_gain
+        if et_gain is not None:
+            et_gain = as_matrix(et_gain, "K_E")
+            if et_gain.shape != (m, n + m):
+                raise DimensionError(f"K_E must be {m}x{n + m}, got {et_gain.shape}")
+            self._et_gain = et_gain
+
+    @property
+    def tt_gain(self) -> np.ndarray:
+        """The time-triggered mode gain ``K_T``."""
+        if self._tt_gain is None:
+            raise SimulationError("no TT gain configured for this simulator")
+        return self._tt_gain
+
+    @property
+    def et_gain(self) -> np.ndarray:
+        """The event-triggered mode gain ``K_E``."""
+        if self._et_gain is None:
+            raise SimulationError("no ET gain configured for this simulator")
+        return self._et_gain
+
+    # -------------------------------------------------------------- stepping
+    def step(
+        self,
+        state: np.ndarray,
+        previous_input: np.ndarray,
+        mode: str,
+    ) -> tuple:
+        """Advance the closed loop by one sample in the given mode.
+
+        Args:
+            state: current plant state ``x[k]``.
+            previous_input: control input applied during the previous sample
+                (``u[k-1]``), needed by the delayed mode.
+            mode: ``"TT"`` or ``"ET"``.
+
+        Returns:
+            ``(next_state, applied_input)`` where ``applied_input`` is the
+            control input acting on the plant during sample ``k``.
+        """
+        x = np.asarray(state, dtype=float).reshape(self.plant.state_dimension)
+        u_prev = np.asarray(previous_input, dtype=float).reshape(self.plant.input_dimension)
+        if mode == self.TT:
+            applied = -(self.tt_gain @ x)
+        elif mode == self.ET:
+            # The freshly computed command only reaches the actuator one
+            # sample later; during sample k the plant still sees u[k-1].
+            applied = u_prev
+        else:
+            raise SimulationError(f"unknown mode {mode!r}; expected 'TT' or 'ET'")
+        next_state = self.plant.phi @ x + self.plant.gamma @ applied
+        return next_state, applied
+
+    def compute_command(self, state: np.ndarray, previous_input: np.ndarray, mode: str) -> np.ndarray:
+        """The command computed (not necessarily applied) at the current sample."""
+        x = np.asarray(state, dtype=float).reshape(self.plant.state_dimension)
+        u_prev = np.asarray(previous_input, dtype=float).reshape(self.plant.input_dimension)
+        if mode == self.TT:
+            return -(self.tt_gain @ x)
+        if mode == self.ET:
+            z = np.concatenate([x, u_prev])
+            return -(self.et_gain @ z)
+        raise SimulationError(f"unknown mode {mode!r}; expected 'TT' or 'ET'")
+
+    # ------------------------------------------------------------ simulation
+    def simulate_mode_sequence(
+        self,
+        initial_state: np.ndarray,
+        mode_sequence: Sequence[str],
+        initial_previous_input: Optional[np.ndarray] = None,
+    ) -> ClosedLoopTrajectory:
+        """Simulate the closed loop under an explicit per-sample mode schedule.
+
+        The semantics follow the paper: in a TT sample the fresh command
+        ``-K_T x[k]`` acts immediately; in an ET sample the command computed
+        at the previous sample (``-K_E z[k-1]`` or the last TT command) acts,
+        and a new ET command is computed for the next sample.
+
+        Args:
+            initial_state: plant state at sample 0 (the disturbed state).
+            mode_sequence: sequence of ``"TT"`` / ``"ET"`` labels, one per sample.
+            initial_previous_input: command pending from before sample 0
+                (defaults to zero — the steady-state command).
+
+        Returns:
+            The full :class:`ClosedLoopTrajectory`.
+        """
+        n = self.plant.state_dimension
+        m = self.plant.input_dimension
+        x = np.asarray(initial_state, dtype=float).reshape(n)
+        pending = (
+            np.zeros(m)
+            if initial_previous_input is None
+            else np.asarray(initial_previous_input, dtype=float).reshape(m)
+        )
+        steps = len(mode_sequence)
+        states = np.empty((steps + 1, n))
+        inputs = np.empty((steps, m))
+        states[0] = x
+        for k, mode in enumerate(mode_sequence):
+            if mode == self.TT:
+                applied = -(self.tt_gain @ x)
+                # A TT transmission also refreshes the command the actuator
+                # will hold if the next sample is event-triggered.
+                next_pending = applied
+            elif mode == self.ET:
+                applied = pending
+                z = np.concatenate([x, applied])
+                next_pending = -(self.et_gain @ z)
+            else:
+                raise SimulationError(f"unknown mode {mode!r} at sample {k}")
+            inputs[k] = applied
+            x = self.plant.phi @ x + self.plant.gamma @ applied
+            states[k + 1] = x
+            pending = next_pending
+        outputs = states @ self.plant.c.T
+        return ClosedLoopTrajectory(
+            states=states,
+            inputs=inputs,
+            outputs=outputs,
+            modes=tuple(mode_sequence),
+            sampling_period=self.plant.sampling_period,
+        )
+
+    def simulate_tt_only(self, initial_state: np.ndarray, steps: int) -> ClosedLoopTrajectory:
+        """Simulate with a dedicated TT slot for every sample."""
+        return self.simulate_mode_sequence(initial_state, [self.TT] * steps)
+
+    def simulate_et_only(self, initial_state: np.ndarray, steps: int) -> ClosedLoopTrajectory:
+        """Simulate using only the event-triggered resource."""
+        return self.simulate_mode_sequence(initial_state, [self.ET] * steps)
+
+
+def simulate_direct_feedback(
+    plant: DiscreteLTISystem,
+    gain: np.ndarray,
+    initial_state: np.ndarray,
+    steps: int,
+) -> ClosedLoopTrajectory:
+    """Simulate the delay-free closed loop ``x[k+1] = (Phi - Gamma K) x[k]``."""
+    simulator = ClosedLoopSimulator(plant, tt_gain=gain)
+    return simulator.simulate_tt_only(initial_state, steps)
+
+
+def simulate_delayed_feedback(
+    plant: DiscreteLTISystem,
+    gain: np.ndarray,
+    initial_state: np.ndarray,
+    steps: int,
+) -> ClosedLoopTrajectory:
+    """Simulate the one-sample-delay closed loop of Eqs. (4)-(5)."""
+    simulator = ClosedLoopSimulator(plant, et_gain=gain)
+    return simulator.simulate_et_only(initial_state, steps)

@@ -1,0 +1,10 @@
+"""High-level public API of the reproduction library."""
+
+from .application import ControlApplication
+from .problem import DimensioningComparison, DimensioningProblem
+
+__all__ = [
+    "ControlApplication",
+    "DimensioningProblem",
+    "DimensioningComparison",
+]

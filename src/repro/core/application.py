@@ -1,0 +1,174 @@
+"""High-level public API: control applications and their analysis.
+
+A :class:`ControlApplication` bundles everything the design flow needs to
+know about one distributed control loop: the plant, the two controllers
+(``K_T`` for the time-triggered mode, ``K_E`` for the event-triggered mode),
+the settling requirement ``J*`` and the sporadic disturbance model.  It
+exposes the per-application analyses of the paper as methods:
+
+* switching-stability check (common quadratic Lyapunov function),
+* single-mode settling times ``J_T`` and ``J_E``,
+* the dwell-time analysis producing the switching profile
+  (``Tw^*``, ``Tdw^-``, ``Tdw^+``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..control.augmentation import closed_loop_matrix_delayed, closed_loop_matrix_direct
+from ..control.design import design_et_controller, design_tt_controller
+from ..control.lti import DiscreteLTISystem
+from ..control.lyapunov import CQLFResult, find_common_lyapunov_function
+from ..control.metrics import seconds_to_samples
+from ..control.simulation import ClosedLoopSimulator
+from ..exceptions import DesignError, ProfileError
+from ..switching.dwell import DwellAnalysisConfig, DwellAnalysisResult, DwellTimeAnalyzer
+from ..switching.profile import SwitchingProfile
+
+
+@dataclass
+class ControlApplication:
+    """One distributed control application of the heterogeneous CPS.
+
+    Attributes:
+        name: application identifier.
+        plant: the discrete-time plant model.
+        tt_gain: mode-``MT`` feedback gain ``K_T`` (shape ``(m, n)``).
+        et_gain: mode-``ME`` feedback gain ``K_E`` (shape ``(m, n + m)``).
+        requirement_samples: settling requirement ``J*`` in samples.
+        min_inter_arrival: minimum disturbance inter-arrival time ``r`` (samples).
+        disturbed_state: plant state right after a disturbance.
+        settling_threshold: output band defining "settled" (default 0.02).
+    """
+
+    name: str
+    plant: DiscreteLTISystem
+    tt_gain: np.ndarray
+    et_gain: np.ndarray
+    requirement_samples: int
+    min_inter_arrival: int
+    disturbed_state: np.ndarray
+    settling_threshold: float = 0.02
+
+    def __post_init__(self) -> None:
+        self.tt_gain = np.atleast_2d(np.asarray(self.tt_gain, dtype=float))
+        self.et_gain = np.atleast_2d(np.asarray(self.et_gain, dtype=float))
+        self.disturbed_state = np.asarray(self.disturbed_state, dtype=float).reshape(
+            self.plant.state_dimension
+        )
+        if self.requirement_samples <= 0:
+            raise ProfileError(f"{self.name}: requirement must be positive")
+        if self.min_inter_arrival <= self.requirement_samples:
+            raise ProfileError(
+                f"{self.name}: the sporadic model requires J* < r "
+                f"(got J* = {self.requirement_samples}, r = {self.min_inter_arrival})"
+            )
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def design(
+        cls,
+        name: str,
+        plant: DiscreteLTISystem,
+        requirement_seconds: float,
+        min_inter_arrival_seconds: float,
+        disturbed_state: Sequence[float],
+        tt_poles: Optional[Sequence[complex]] = None,
+        et_poles: Optional[Sequence[complex]] = None,
+        settling_threshold: float = 0.02,
+        require_switching_stability: bool = True,
+    ) -> "ControlApplication":
+        """Design both controllers and build the application in one step.
+
+        ``K_T`` is designed on the delay-free plant and ``K_E`` on the
+        one-sample-delay augmented plant (pole placement when pole sets are
+        given, LQR otherwise).  When ``require_switching_stability`` is True
+        (the default) the resulting pair is checked for switching stability;
+        a :class:`~repro.exceptions.DesignError` is raised when no common
+        quadratic Lyapunov function is found, matching the paper's design
+        rule (Sec. 3).  Pass ``False`` to skip the gate (the CQLF search is
+        sufficient but not necessary, so it may reject usable designs).
+        """
+        tt_design = design_tt_controller(plant, poles=tt_poles)
+        et_design = design_et_controller(plant, poles=et_poles)
+        application = cls(
+            name=name,
+            plant=plant,
+            tt_gain=tt_design.gain,
+            et_gain=et_design.gain,
+            requirement_samples=seconds_to_samples(requirement_seconds, plant.sampling_period),
+            min_inter_arrival=seconds_to_samples(
+                min_inter_arrival_seconds, plant.sampling_period
+            ),
+            disturbed_state=np.asarray(disturbed_state, dtype=float),
+            settling_threshold=settling_threshold,
+        )
+        if require_switching_stability:
+            stability = application.switching_stability()
+            if not stability.found:
+                raise DesignError(
+                    f"{name}: the designed controllers are not switching stable; "
+                    "choose different pole sets or weights"
+                )
+        return application
+
+    # --------------------------------------------------------------- analyses
+    def simulator(self) -> ClosedLoopSimulator:
+        """A closed-loop simulator configured with both gains."""
+        return ClosedLoopSimulator(self.plant, tt_gain=self.tt_gain, et_gain=self.et_gain)
+
+    def closed_loop_matrices(self) -> tuple:
+        """``(A_T, A_E)``: closed-loop matrices of modes ``MT`` and ``ME``.
+
+        ``A_T`` is embedded into the augmented coordinates (n + m) so that the
+        two matrices act on the same state vector, as required for the common
+        Lyapunov function of the switched system.  While the application holds
+        the TT slot the actuator receives the freshly computed command, so the
+        held-command coordinate carries no energy of its own and is mapped to
+        zero in the ``MT`` mode matrix (this is the embedding under which the
+        paper's stable pair admits a CQLF and the unstable pair does not).
+        """
+        n = self.plant.state_dimension
+        m = self.plant.input_dimension
+        a_t_small = closed_loop_matrix_direct(self.plant, self.tt_gain)
+        a_e = closed_loop_matrix_delayed(self.plant, self.et_gain)
+        a_t = np.zeros((n + m, n + m))
+        a_t[:n, :n] = a_t_small
+        return a_t, a_e
+
+    def switching_stability(self, **kwargs) -> CQLFResult:
+        """Search for a common quadratic Lyapunov function of the two modes."""
+        a_t, a_e = self.closed_loop_matrices()
+        return find_common_lyapunov_function([a_t, a_e], **kwargs)
+
+    def dwell_analyzer(self, config: Optional[DwellAnalysisConfig] = None) -> DwellTimeAnalyzer:
+        """The dwell-time analyzer for this application."""
+        if config is None:
+            config = DwellAnalysisConfig(settling_threshold=self.settling_threshold)
+        return DwellTimeAnalyzer(
+            plant=self.plant,
+            tt_gain=self.tt_gain,
+            et_gain=self.et_gain,
+            disturbed_state=self.disturbed_state,
+            config=config,
+        )
+
+    def dwell_analysis(self, config: Optional[DwellAnalysisConfig] = None) -> DwellAnalysisResult:
+        """Run the full dwell-time analysis (``J_T``, ``J_E``, ``Tw^*``, tables)."""
+        return self.dwell_analyzer(config).analyze(self.requirement_samples)
+
+    def switching_profile(self, config: Optional[DwellAnalysisConfig] = None) -> SwitchingProfile:
+        """Compute the switching profile used by scheduling and verification."""
+        return self.dwell_analyzer(config).build_profile(
+            name=self.name,
+            requirement_samples=self.requirement_samples,
+            min_inter_arrival=self.min_inter_arrival,
+        )
+
+    def requirement_seconds(self) -> float:
+        """The requirement ``J*`` in seconds."""
+        return self.requirement_samples * self.plant.sampling_period

@@ -1,0 +1,130 @@
+"""High-level public API: the multi-application dimensioning problem.
+
+A :class:`DimensioningProblem` collects several
+:class:`~repro.core.application.ControlApplication` instances (or ready-made
+switching profiles) and runs the paper's end-to-end flow:
+
+1. per-application dwell-time analysis → switching profiles,
+2. first-fit mapping with verification-backed admission → slot partition,
+3. comparison against the baseline dimensioning of [9].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..dimensioning.first_fit import (
+    AdmissionTest,
+    DimensioningOutcome,
+    FirstFitDimensioner,
+    default_admission_test,
+)
+from ..exceptions import MappingError
+from ..scheduler.baseline import BaselineDimensioningResult, BaselineStrategy, dimension_baseline
+from ..switching.profile import SwitchingProfile
+from .application import ControlApplication
+
+
+@dataclass(frozen=True)
+class DimensioningComparison:
+    """Side-by-side result of the proposed flow and the baseline of [9].
+
+    Attributes:
+        proposed: outcome of the verification-backed first-fit flow.
+        baseline: outcome of the baseline schedulability-analysis flow.
+        slot_savings: relative reduction in TT slots achieved by the
+            proposed flow (0.5 means half the slots).
+    """
+
+    proposed: DimensioningOutcome
+    baseline: BaselineDimensioningResult
+    slot_savings: float
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the comparison."""
+        return (
+            f"proposed: {self.proposed.slot_count} slots {self.proposed.partition()} | "
+            f"baseline: {self.baseline.slot_count} slots {self.baseline.partitions} | "
+            f"savings: {self.slot_savings:.0%}"
+        )
+
+
+class DimensioningProblem:
+    """The paper's resource-dimensioning problem for a set of applications."""
+
+    def __init__(self) -> None:
+        self._applications: Dict[str, ControlApplication] = {}
+        self._profiles: Dict[str, SwitchingProfile] = {}
+
+    # ------------------------------------------------------------ population
+    def add_application(self, application: ControlApplication) -> None:
+        """Add an application whose profile will be computed by dwell analysis."""
+        if application.name in self._applications or application.name in self._profiles:
+            raise MappingError(f"application {application.name!r} already added")
+        self._applications[application.name] = application
+
+    def add_profile(self, profile: SwitchingProfile) -> None:
+        """Add an application through a precomputed switching profile."""
+        if profile.name in self._applications or profile.name in self._profiles:
+            raise MappingError(f"application {profile.name!r} already added")
+        self._profiles[profile.name] = profile
+
+    def add_applications(self, applications: Iterable[ControlApplication]) -> None:
+        """Add several applications at once."""
+        for application in applications:
+            self.add_application(application)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Names of all registered applications, sorted."""
+        return tuple(sorted(set(self._applications) | set(self._profiles)))
+
+    def __len__(self) -> int:
+        return len(self._applications) + len(self._profiles)
+
+    # -------------------------------------------------------------- profiles
+    def profiles(self) -> Dict[str, SwitchingProfile]:
+        """Switching profiles of every application (computing them if needed)."""
+        profiles = dict(self._profiles)
+        for name, application in self._applications.items():
+            profiles[name] = application.switching_profile()
+        return profiles
+
+    # ------------------------------------------------------------ dimensioning
+    def dimension(
+        self,
+        admission_test: Optional[AdmissionTest] = None,
+        order: Optional[Sequence[str]] = None,
+    ) -> DimensioningOutcome:
+        """Run the proposed first-fit dimensioning with verification."""
+        if not len(self):
+            raise MappingError("no applications registered")
+        profiles = self.profiles()
+        dimensioner = FirstFitDimensioner(
+            profiles, admission_test or default_admission_test()
+        )
+        return dimensioner.dimension(order)
+
+    def dimension_baseline(
+        self,
+        strategy: BaselineStrategy = BaselineStrategy.NON_PREEMPTIVE_DM,
+        order: Optional[Sequence[str]] = None,
+    ) -> BaselineDimensioningResult:
+        """Run the baseline dimensioning of [9] on the same applications."""
+        if not len(self):
+            raise MappingError("no applications registered")
+        return dimension_baseline(self.profiles(), strategy, order)
+
+    def compare(
+        self,
+        admission_test: Optional[AdmissionTest] = None,
+        baseline_strategy: BaselineStrategy = BaselineStrategy.NON_PREEMPTIVE_DM,
+    ) -> DimensioningComparison:
+        """Run both flows and report the slot savings of the proposed approach."""
+        proposed = self.dimension(admission_test)
+        baseline = self.dimension_baseline(baseline_strategy)
+        savings = proposed.savings_versus(baseline.slot_count)
+        return DimensioningComparison(
+            proposed=proposed, baseline=baseline, slot_savings=savings
+        )

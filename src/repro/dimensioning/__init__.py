@@ -1,0 +1,22 @@
+"""Resource dimensioning: first-fit slot mapping with verification-backed
+admission (the paper's flow) and comparison against the baseline of [9]."""
+
+from .first_fit import (
+    AdmissionTest,
+    DimensioningOutcome,
+    FirstFitDimensioner,
+    SlotAssignment,
+    default_admission_test,
+    dimension_with_verification,
+    paper_sort_order,
+)
+
+__all__ = [
+    "AdmissionTest",
+    "SlotAssignment",
+    "DimensioningOutcome",
+    "FirstFitDimensioner",
+    "default_admission_test",
+    "dimension_with_verification",
+    "paper_sort_order",
+]

@@ -1,0 +1,209 @@
+"""First-fit resource dimensioning with a verification back-end (paper Sec. 5).
+
+The mapping heuristic of the paper:
+
+1. sort applications by ascending maximum wait time ``Tw^*`` and, among equal
+   ``Tw^*``, by ascending worst-case minimum dwell ``Tdw^-*``;
+2. take the applications in this order and try to place each into an
+   existing TT slot — a placement is admissible when the *verification* of
+   the slot's new application set succeeds (no application can reach its
+   Error state);
+3. open a new slot when no existing slot admits the application.
+
+The admission test is pluggable: the default is the exhaustive shared-slot
+verifier with the paper's instance-budget acceleration, but the
+timed-automata model checker or the baseline schedulability analysis can be
+injected instead (the latter reproduces the 4-slot baseline of [9]).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import MappingError
+from ..switching.profile import SwitchingProfile
+from ..verification.acceleration import instance_budgets
+from ..verification.exhaustive import verify_slot_sharing
+from ..verification.result import VerificationResult
+
+#: An admission test maps a candidate application set to a feasibility verdict.
+AdmissionTest = Callable[[Sequence[SwitchingProfile]], bool]
+
+
+@dataclass(frozen=True)
+class SlotAssignment:
+    """One TT slot and the applications mapped onto it."""
+
+    slot: int
+    applications: Tuple[str, ...]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.applications
+
+
+@dataclass(frozen=True)
+class DimensioningOutcome:
+    """Result of the first-fit dimensioning flow.
+
+    Attributes:
+        assignments: one entry per allocated TT slot, in allocation order.
+        order: the order in which applications were considered.
+        verifications: number of admission tests performed.
+        elapsed_seconds: total wall-clock time of the flow.
+        admission_log: per-trial record ``(slot, applications, admitted)``.
+    """
+
+    assignments: Tuple[SlotAssignment, ...]
+    order: Tuple[str, ...]
+    verifications: int
+    elapsed_seconds: float
+    admission_log: Tuple[Tuple[int, Tuple[str, ...], bool], ...] = ()
+
+    @property
+    def slot_count(self) -> int:
+        """Number of TT slots required."""
+        return len(self.assignments)
+
+    def partition(self) -> Tuple[Tuple[str, ...], ...]:
+        """The slot partition as a tuple of application-name tuples."""
+        return tuple(assignment.applications for assignment in self.assignments)
+
+    def slot_of(self, application: str) -> int:
+        """Slot index an application was mapped to."""
+        for assignment in self.assignments:
+            if application in assignment:
+                return assignment.slot
+        raise MappingError(f"application {application!r} is not mapped to any slot")
+
+    def savings_versus(self, other_slot_count: int) -> float:
+        """Relative slot saving compared to a competing slot count."""
+        if other_slot_count <= 0:
+            raise MappingError("the competing slot count must be positive")
+        return 1.0 - self.slot_count / other_slot_count
+
+
+def paper_sort_order(profiles: Mapping[str, SwitchingProfile]) -> List[str]:
+    """The paper's first-fit consideration order.
+
+    Ascending ``Tw^*``; ties broken by ascending worst minimum dwell
+    ``Tdw^-*``; remaining ties by name for determinism.
+    """
+    return [
+        profile.name
+        for profile in sorted(
+            profiles.values(),
+            key=lambda profile: (profile.max_wait, profile.worst_min_dwell, profile.name),
+        )
+    ]
+
+
+def default_admission_test(
+    max_states: Optional[int] = None,
+    use_acceleration: bool = True,
+) -> AdmissionTest:
+    """Admission test backed by the exhaustive verifier.
+
+    Args:
+        max_states: optional exploration cap forwarded to the verifier.
+        use_acceleration: whether to bound disturbance instances with the
+            budgets of :func:`repro.verification.acceleration.instance_budgets`.
+    """
+
+    def admit(profiles: Sequence[SwitchingProfile]) -> bool:
+        budget = instance_budgets(profiles) if use_acceleration else None
+        kwargs = {}
+        if max_states is not None:
+            kwargs["max_states"] = max_states
+        result: VerificationResult = verify_slot_sharing(
+            profiles, instance_budget=budget, with_counterexample=False, **kwargs
+        )
+        if result.truncated:
+            raise MappingError(
+                "verification truncated before completion; raise max_states or "
+                "tighten the instance budgets"
+            )
+        return result.feasible
+
+    return admit
+
+
+class FirstFitDimensioner:
+    """First-fit slot dimensioning driven by a pluggable admission test.
+
+    Args:
+        profiles: switching profiles keyed by application name.
+        admission_test: callable deciding whether a set of profiles may share
+            one slot; defaults to the exhaustive verifier with acceleration.
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[str, SwitchingProfile],
+        admission_test: Optional[AdmissionTest] = None,
+    ) -> None:
+        if not profiles:
+            raise MappingError("at least one application profile is required")
+        self.profiles: Dict[str, SwitchingProfile] = dict(profiles)
+        self.admission_test = admission_test or default_admission_test()
+
+    def dimension(self, order: Optional[Sequence[str]] = None) -> DimensioningOutcome:
+        """Run the first-fit flow and return the slot partition.
+
+        Args:
+            order: optional explicit consideration order; defaults to the
+                paper's sort (ascending ``Tw^*``, ties by ``Tdw^-*``).
+        """
+        start = time.perf_counter()
+        if order is None:
+            ordered = paper_sort_order(self.profiles)
+        else:
+            unknown = set(order) - set(self.profiles)
+            if unknown:
+                raise MappingError(f"order mentions unknown applications: {sorted(unknown)}")
+            missing = set(self.profiles) - set(order)
+            if missing:
+                raise MappingError(f"order omits applications: {sorted(missing)}")
+            ordered = list(order)
+
+        slots: List[List[str]] = []
+        verifications = 0
+        log: List[Tuple[int, Tuple[str, ...], bool]] = []
+        for name in ordered:
+            placed = False
+            for slot_index, slot in enumerate(slots):
+                candidate_names = slot + [name]
+                candidate = [self.profiles[member] for member in candidate_names]
+                verifications += 1
+                admitted = bool(self.admission_test(candidate))
+                log.append((slot_index, tuple(candidate_names), admitted))
+                if admitted:
+                    slot.append(name)
+                    placed = True
+                    break
+            if not placed:
+                slots.append([name])
+                log.append((len(slots) - 1, (name,), True))
+
+        elapsed = time.perf_counter() - start
+        assignments = tuple(
+            SlotAssignment(slot=index, applications=tuple(slot))
+            for index, slot in enumerate(slots)
+        )
+        return DimensioningOutcome(
+            assignments=assignments,
+            order=tuple(ordered),
+            verifications=verifications,
+            elapsed_seconds=elapsed,
+            admission_log=tuple(log),
+        )
+
+
+def dimension_with_verification(
+    profiles: Mapping[str, SwitchingProfile],
+    order: Optional[Sequence[str]] = None,
+    admission_test: Optional[AdmissionTest] = None,
+) -> DimensioningOutcome:
+    """Convenience wrapper: first-fit dimensioning with the default verifier."""
+    return FirstFitDimensioner(profiles, admission_test).dimension(order)

@@ -1,0 +1,52 @@
+"""Exception hierarchy used across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DimensionError(ReproError):
+    """A matrix or vector has an incompatible or invalid shape."""
+
+
+class DesignError(ReproError):
+    """A controller-design procedure failed (e.g. unreachable plant)."""
+
+
+class StabilityError(ReproError):
+    """A stability-related computation failed or a system is unstable."""
+
+
+class SimulationError(ReproError):
+    """A closed-loop or bus simulation received inconsistent inputs."""
+
+
+class ProfileError(ReproError):
+    """A switching profile is malformed or cannot satisfy its requirement."""
+
+
+class SchedulingError(ReproError):
+    """The slot arbiter or scheduler simulator received invalid input."""
+
+
+class VerificationError(ReproError):
+    """The model checker or verification front-end failed."""
+
+
+class ModelError(ReproError):
+    """A timed automaton or automata network is ill-formed."""
+
+
+class ConfigurationError(ReproError):
+    """A FlexRay or platform configuration is inconsistent."""
+
+
+class MappingError(ReproError):
+    """Resource dimensioning could not produce a feasible mapping."""

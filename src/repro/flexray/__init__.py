@@ -1,0 +1,26 @@
+"""Simulated FlexRay substrate: bus configuration, static/dynamic segments,
+worst-case dynamic timing analysis and the reconfigurable middleware that
+lets messages switch segments at run time."""
+
+from .config import FlexRayConfig, Message
+from .middleware import CycleRecord, ReconfigurableMiddleware
+from .segments import DynamicSegment, StaticSegment
+from .timing import (
+    DynamicTimingResult,
+    analyse_message_set,
+    validates_one_sample_delay,
+    worst_case_dynamic_delay,
+)
+
+__all__ = [
+    "FlexRayConfig",
+    "Message",
+    "StaticSegment",
+    "DynamicSegment",
+    "ReconfigurableMiddleware",
+    "CycleRecord",
+    "DynamicTimingResult",
+    "worst_case_dynamic_delay",
+    "analyse_message_set",
+    "validates_one_sample_delay",
+]

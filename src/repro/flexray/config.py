@@ -1,0 +1,129 @@
+"""FlexRay bus configuration (paper Sec. 2, "Heterogeneous communication resources").
+
+A FlexRay communication cycle consists of a *static segment* — a sequence of
+TDMA slots of equal length ``Ψ`` providing time-triggered (TT) communication
+— and a *dynamic segment* partitioned into mini-slots of equal length ``ψ``
+(with ``ψ ≪ Ψ``) providing event-triggered (ET) communication.
+
+The control-level abstraction the paper needs from the bus is:
+
+* a message in a static slot is transmitted within a precisely known window
+  (negligible sensing-to-actuation delay for the controller), and
+* a message in the dynamic segment experiences a load-dependent delay whose
+  worst case is one sampling period (one bus cycle).
+
+The classes here describe the bus layout; :mod:`repro.flexray.bus` simulates
+cycles and :mod:`repro.flexray.timing` provides the worst-case dynamic
+segment analysis in the style of Pop et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FlexRayConfig:
+    """Static description of a FlexRay cycle.
+
+    Attributes:
+        cycle_length: duration of one communication cycle in milliseconds.
+            The paper samples controllers every 20 ms and sends one control
+            message per cycle, so the default matches the sampling period.
+        static_slot_count: number of TDMA slots in the static segment.
+        static_slot_length: duration ``Ψ`` of one static slot (ms).
+        minislot_count: number of mini-slots in the dynamic segment.
+        minislot_length: duration ``ψ`` of one mini-slot (ms).
+        network_idle_time: guard time at the end of the cycle (ms).
+    """
+
+    cycle_length: float = 20.0
+    static_slot_count: int = 8
+    static_slot_length: float = 1.0
+    minislot_count: int = 100
+    minislot_length: float = 0.05
+    network_idle_time: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cycle_length <= 0:
+            raise ConfigurationError("cycle_length must be positive")
+        if self.static_slot_count <= 0:
+            raise ConfigurationError("static_slot_count must be positive")
+        if self.static_slot_length <= 0 or self.minislot_length <= 0:
+            raise ConfigurationError("slot lengths must be positive")
+        if self.minislot_count < 0:
+            raise ConfigurationError("minislot_count must be non-negative")
+        if self.minislot_length >= self.static_slot_length:
+            raise ConfigurationError(
+                "mini-slots must be shorter than static slots (psi << Psi)"
+            )
+        if self.segments_length() > self.cycle_length:
+            raise ConfigurationError(
+                f"segments ({self.segments_length():.3f} ms) do not fit in the "
+                f"cycle ({self.cycle_length} ms)"
+            )
+
+    def static_segment_length(self) -> float:
+        """Total duration of the static segment (ms)."""
+        return self.static_slot_count * self.static_slot_length
+
+    def dynamic_segment_length(self) -> float:
+        """Total duration of the dynamic segment (ms)."""
+        return self.minislot_count * self.minislot_length
+
+    def segments_length(self) -> float:
+        """Static + dynamic + idle time (ms)."""
+        return (
+            self.static_segment_length()
+            + self.dynamic_segment_length()
+            + self.network_idle_time
+        )
+
+    def static_slot_start(self, slot: int) -> float:
+        """Offset (ms from cycle start) at which a static slot begins."""
+        if not 0 <= slot < self.static_slot_count:
+            raise ConfigurationError(
+                f"static slot {slot} out of range [0, {self.static_slot_count})"
+            )
+        return slot * self.static_slot_length
+
+    def dynamic_segment_start(self) -> float:
+        """Offset (ms from cycle start) at which the dynamic segment begins."""
+        return self.static_segment_length()
+
+    def cycles_per_sampling_period(self, sampling_period_s: float) -> int:
+        """Number of whole bus cycles within one controller sampling period."""
+        if sampling_period_s <= 0:
+            raise ConfigurationError("sampling period must be positive")
+        cycles = int(round(sampling_period_s * 1000.0 / self.cycle_length))
+        return max(cycles, 1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A periodic control message transmitted on the bus.
+
+    Attributes:
+        name: message identifier (typically the application name).
+        payload_bits: payload size in bits.
+        frame_id: FlexRay frame identifier — also the priority in the dynamic
+            segment (lower id = earlier transmission opportunity).
+        minislots_needed: number of mini-slots the message occupies when it is
+            sent in the dynamic segment.
+    """
+
+    name: str
+    payload_bits: int = 64
+    frame_id: int = 1
+    minislots_needed: int = 4
+
+    def __post_init__(self) -> None:
+        if self.payload_bits <= 0:
+            raise ConfigurationError(f"{self.name}: payload_bits must be positive")
+        if self.frame_id <= 0:
+            raise ConfigurationError(f"{self.name}: frame_id must be positive")
+        if self.minislots_needed <= 0:
+            raise ConfigurationError(f"{self.name}: minislots_needed must be positive")

@@ -1,0 +1,188 @@
+"""Reconfigurable communication middleware (paper ref. [8]).
+
+Stock FlexRay is configured offline: a message is bound to either a static
+slot or the dynamic segment for the lifetime of the schedule.  The switching
+strategy, however, needs to move an application's control message between
+the dynamic segment (mode ``ME``) and a static slot (mode ``MT``) at run
+time.  The paper relies on the reconfigurable middleware of Majumdar et al.
+[8] for this; this module provides the simulated equivalent.
+
+The middleware exposes exactly the interface the switching layer needs:
+
+* every application message is registered once;
+* :meth:`ReconfigurableMiddleware.use_static` binds a message to a given
+  static slot for the coming cycles (mode ``MT``), and
+* :meth:`ReconfigurableMiddleware.use_dynamic` moves it back to the dynamic
+  segment (mode ``ME``).
+
+A per-cycle log records which segment each message used, so tests can check
+that a scheduled switching sequence translates into the expected bus-level
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .config import FlexRayConfig, Message
+from .segments import DynamicSegment, StaticSegment
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """What happened on the bus during one cycle.
+
+    Attributes:
+        cycle: cycle index.
+        static_transmissions: mapping from slot index to message name.
+        dynamic_transmissions: message names sent in the dynamic segment, in
+            transmission order.
+        deferred: dynamic messages that did not fit and were pushed to the
+            next cycle.
+    """
+
+    cycle: int
+    static_transmissions: Mapping[int, str]
+    dynamic_transmissions: Tuple[str, ...]
+    deferred: Tuple[str, ...]
+
+
+class ReconfigurableMiddleware:
+    """Runtime switching of messages between static slots and the dynamic segment."""
+
+    def __init__(self, config: Optional[FlexRayConfig] = None) -> None:
+        self.config = config or FlexRayConfig()
+        self.static = StaticSegment(self.config)
+        self.dynamic = DynamicSegment(self.config)
+        self._messages: Dict[str, Message] = {}
+        self._binding: Dict[str, str] = {}
+        self._static_slot: Dict[str, int] = {}
+        self._cycle = 0
+        self._history: List[CycleRecord] = []
+        self._carry_over: List[str] = []
+
+    # ----------------------------------------------------------- registration
+    def register(self, message: Message) -> None:
+        """Register an application message; it starts in the dynamic segment."""
+        if message.name in self._messages:
+            raise ConfigurationError(f"message {message.name!r} is already registered")
+        self._messages[message.name] = message
+        self.dynamic.register(message)
+        self._binding[message.name] = "dynamic"
+
+    def registered_messages(self) -> Tuple[str, ...]:
+        """Names of all registered messages, sorted."""
+        return tuple(sorted(self._messages))
+
+    def binding_of(self, message_name: str) -> str:
+        """Current binding of a message: ``"static"`` or ``"dynamic"``."""
+        if message_name not in self._binding:
+            raise ConfigurationError(f"message {message_name!r} is not registered")
+        return self._binding[message_name]
+
+    # ------------------------------------------------------------- switching
+    def use_static(self, message_name: str, slot: int) -> None:
+        """Bind a message to a static slot (mode ``MT``)."""
+        if message_name not in self._messages:
+            raise ConfigurationError(f"message {message_name!r} is not registered")
+        if self._binding[message_name] == "static":
+            if self._static_slot.get(message_name) == slot:
+                return
+            self.release_static(message_name)
+        self.static.assign(slot, self._messages[message_name])
+        self.dynamic.unregister(message_name)
+        self._binding[message_name] = "static"
+        self._static_slot[message_name] = slot
+
+    def use_dynamic(self, message_name: str) -> None:
+        """Move a message back to the dynamic segment (mode ``ME``)."""
+        if message_name not in self._messages:
+            raise ConfigurationError(f"message {message_name!r} is not registered")
+        if self._binding[message_name] == "dynamic":
+            return
+        self.release_static(message_name)
+
+    def release_static(self, message_name: str) -> None:
+        """Release the static slot currently used by a message (if any)."""
+        slot = self._static_slot.pop(message_name, None)
+        if slot is not None:
+            self.static.release(slot)
+        if self._binding.get(message_name) == "static":
+            self.dynamic.register(self._messages[message_name])
+            self._binding[message_name] = "dynamic"
+
+    # ---------------------------------------------------------------- cycles
+    def run_cycle(self, pending: Optional[Sequence[str]] = None) -> CycleRecord:
+        """Simulate one bus cycle.
+
+        Args:
+            pending: names of the messages with fresh data this cycle
+                (default: every registered message — periodic control data).
+
+        Returns:
+            The :class:`CycleRecord` describing the transmissions of the cycle.
+        """
+        if pending is None:
+            pending = self.registered_messages()
+        unknown = [name for name in pending if name not in self._messages]
+        if unknown:
+            raise ConfigurationError(f"unregistered messages requested: {unknown}")
+
+        static_transmissions: Dict[int, str] = {}
+        dynamic_pending: List[str] = list(self._carry_over)
+        for name in pending:
+            if self._binding[name] == "static":
+                slot = self._static_slot[name]
+                static_transmissions[slot] = name
+            elif name not in dynamic_pending:
+                dynamic_pending.append(name)
+
+        sent, deferred = self.dynamic.arbitrate(dynamic_pending)
+        self._carry_over = list(deferred)
+        record = CycleRecord(
+            cycle=self._cycle,
+            static_transmissions=dict(static_transmissions),
+            dynamic_transmissions=tuple(sent),
+            deferred=tuple(deferred),
+        )
+        self._history.append(record)
+        self._cycle += 1
+        return record
+
+    def run_mode_schedule(
+        self,
+        message_name: str,
+        modes: Sequence[str],
+        slot: int,
+    ) -> List[CycleRecord]:
+        """Drive one message through a per-cycle TT/ET mode schedule.
+
+        This is the bus-level counterpart of a switching sequence: for every
+        ``"TT"`` entry the message is bound to ``slot`` for that cycle, for
+        every ``"ET"`` entry it uses the dynamic segment.
+
+        Returns the per-cycle records.
+        """
+        records = []
+        for mode in modes:
+            if str(mode) == "TT":
+                self.use_static(message_name, slot)
+            else:
+                self.use_dynamic(message_name)
+            records.append(self.run_cycle())
+        return records
+
+    @property
+    def history(self) -> Tuple[CycleRecord, ...]:
+        """All cycle records produced so far."""
+        return tuple(self._history)
+
+    def static_usage_count(self, message_name: str) -> int:
+        """Number of cycles in which a message used a static slot."""
+        return sum(
+            1
+            for record in self._history
+            if message_name in record.static_transmissions.values()
+        )

@@ -1,0 +1,58 @@
+"""Slot scheduling: the EDF-like arbiter, the discrete-time shared-slot
+transition system, the deterministic trace simulator and the baseline
+schedulability analysis of [9]."""
+
+from .arbiter import EarliestDeadlineArbiter, SlotRequest
+from .baseline import (
+    BaselineDimensioningResult,
+    BaselineResponse,
+    BaselineSchedulabilityAnalysis,
+    BaselineStrategy,
+    BaselineTask,
+    dimension_baseline,
+    task_from_profile,
+)
+from .simulator import DisturbanceOutcome, SlotScheduleResult, SlotScheduleSimulator
+from .slot_system import (
+    DONE,
+    HOLDING,
+    NO_OCCUPANT,
+    SAFE,
+    STEADY,
+    WAITING,
+    SlotSystemConfig,
+    SlotSystemState,
+    StepEvents,
+    advance,
+    initial_state,
+    quiescent,
+    steady_applications,
+)
+
+__all__ = [
+    "EarliestDeadlineArbiter",
+    "SlotRequest",
+    "SlotSystemConfig",
+    "SlotSystemState",
+    "StepEvents",
+    "advance",
+    "initial_state",
+    "steady_applications",
+    "quiescent",
+    "STEADY",
+    "WAITING",
+    "HOLDING",
+    "SAFE",
+    "DONE",
+    "NO_OCCUPANT",
+    "SlotScheduleSimulator",
+    "SlotScheduleResult",
+    "DisturbanceOutcome",
+    "BaselineStrategy",
+    "BaselineTask",
+    "BaselineResponse",
+    "BaselineSchedulabilityAnalysis",
+    "BaselineDimensioningResult",
+    "task_from_profile",
+    "dimension_baseline",
+]

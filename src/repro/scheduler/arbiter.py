@@ -1,0 +1,128 @@
+"""Slot arbitration policy (paper Sec. 4).
+
+The scheduler grants the shared TT slot to the waiting application with the
+smallest *remaining slack* ``D = Tw^* - Tw`` — an earliest-deadline-first
+policy where the deadline of a request is the latest sample at which the
+application must be granted the slot to still meet its settling requirement.
+
+The arbiter is a pure-policy object: it ranks requests, decides preemption
+and voluntary release, but holds no system state itself.  Both the
+discrete-time slot simulator and the verification layer use it, so the
+policy semantics are defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import SchedulingError
+from ..switching.profile import SwitchingProfile
+
+
+@dataclass(frozen=True)
+class SlotRequest:
+    """A pending request for the TT slot.
+
+    Attributes:
+        application: name of the requesting application.
+        wait_elapsed: samples the application has already waited (``Tw``).
+        max_wait: the application's ``Tw^*``.
+        arrival_order: tie-break index recording when the scheduler first saw
+            the request (earlier requests win ties, matching the FIFO insert
+            of the paper's Sort automaton for equal deadlines).
+    """
+
+    application: str
+    wait_elapsed: int
+    max_wait: int
+    arrival_order: int = 0
+
+    @property
+    def slack(self) -> int:
+        """Remaining slack ``D = Tw^* - Tw`` (negative once the deadline passed)."""
+        return self.max_wait - self.wait_elapsed
+
+    def sort_key(self) -> Tuple[int, int, str]:
+        """Ordering key: slack, then arrival order, then name (total order)."""
+        return (self.slack, self.arrival_order, self.application)
+
+
+class EarliestDeadlineArbiter:
+    """EDF-like arbitration over slot requests.
+
+    The arbiter is configured with the switching profiles of the applications
+    mapped to the slot so that it can look up ``Tw^*`` and the dwell bounds.
+    """
+
+    def __init__(self, profiles: Mapping[str, SwitchingProfile]) -> None:
+        if not profiles:
+            raise SchedulingError("the arbiter needs at least one application profile")
+        self._profiles: Dict[str, SwitchingProfile] = dict(profiles)
+
+    @property
+    def application_names(self) -> Tuple[str, ...]:
+        """Names of the applications managed by this arbiter."""
+        return tuple(sorted(self._profiles))
+
+    def profile(self, application: str) -> SwitchingProfile:
+        """Profile of one managed application."""
+        if application not in self._profiles:
+            raise SchedulingError(f"application {application!r} is not mapped to this slot")
+        return self._profiles[application]
+
+    # ----------------------------------------------------------------- policy
+    def rank(self, requests: Sequence[SlotRequest]) -> List[SlotRequest]:
+        """Sort requests by the arbitration policy (head of the list is served first)."""
+        for request in requests:
+            if request.application not in self._profiles:
+                raise SchedulingError(
+                    f"request from unmapped application {request.application!r}"
+                )
+        return sorted(requests, key=lambda request: request.sort_key())
+
+    def select(self, requests: Sequence[SlotRequest]) -> Optional[SlotRequest]:
+        """The request that should be served next, or ``None`` when there is none."""
+        ranked = self.rank(requests)
+        return ranked[0] if ranked else None
+
+    def should_preempt(
+        self,
+        occupant: str,
+        occupant_dwell: int,
+        occupant_wait_at_grant: int,
+        waiting: Sequence[SlotRequest],
+    ) -> bool:
+        """Whether the current occupant should be preempted at this sample.
+
+        Preemption requires (i) at least one waiting request and (ii) the
+        occupant having completed its minimum dwell time ``Tdw^-`` for the
+        wait time it experienced.
+        """
+        if not waiting:
+            return False
+        profile = self.profile(occupant)
+        min_dwell = profile.min_dwell(min(occupant_wait_at_grant, profile.max_wait))
+        return occupant_dwell >= min_dwell
+
+    def should_release(
+        self,
+        occupant: str,
+        occupant_dwell: int,
+        occupant_wait_at_grant: int,
+    ) -> bool:
+        """Whether the occupant has used its maximum useful dwell ``Tdw^+``."""
+        profile = self.profile(occupant)
+        max_dwell = profile.max_dwell(min(occupant_wait_at_grant, profile.max_wait))
+        return occupant_dwell >= max_dwell
+
+    def dwell_bounds(self, application: str, wait_elapsed: int) -> Tuple[int, int]:
+        """``(Tdw^-, Tdw^+)`` looked up at grant time for the experienced wait."""
+        profile = self.profile(application)
+        wait = min(wait_elapsed, profile.max_wait)
+        entry = profile.entry(wait)
+        return entry.min_dwell, entry.max_dwell
+
+    def deadline_missed(self, application: str, wait_elapsed: int) -> bool:
+        """Whether a still-waiting application has exceeded its ``Tw^*``."""
+        return wait_elapsed > self.profile(application).max_wait

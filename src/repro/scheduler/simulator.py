@@ -1,0 +1,251 @@
+"""Deterministic discrete-time simulation of a shared TT slot.
+
+Given a concrete disturbance trace, the :class:`SlotScheduleSimulator` runs
+the shared-slot transition system (:mod:`repro.scheduler.slot_system`) sample
+by sample and records, for every application, the samples during which it
+held the TT slot, the wait and dwell times of every disturbance instance and
+any deadline misses.
+
+The recorded grant timeline is exactly what the paper's Figs. 8 and 9 show
+as shaded regions; combined with the per-application plants it yields the
+closed-loop response curves via
+:meth:`SlotScheduleSimulator.control_trajectories`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..control.disturbance import DisturbanceTrace
+from ..control.simulation import ClosedLoopSimulator, ClosedLoopTrajectory
+from ..exceptions import SchedulingError
+from ..switching.modes import Mode, mode_sequence_from_grants
+from ..switching.profile import SwitchingProfile
+from .slot_system import (
+    NO_OCCUPANT,
+    SlotSystemConfig,
+    SlotSystemState,
+    StepEvents,
+    advance,
+    initial_state,
+)
+
+
+@dataclass(frozen=True)
+class DisturbanceOutcome:
+    """Timing outcome of one disturbance instance of one application.
+
+    Attributes:
+        application: application name.
+        sensed_at: sample at which the scheduler first saw the disturbance.
+        wait: samples spent waiting for the slot (``Tw``); ``None`` when the
+            simulation horizon ended before the slot was granted.
+        dwell: samples spent holding the slot (``Tdw``); ``None`` when the
+            grant or the release fell outside the horizon.
+        preempted: whether the application was preempted (as opposed to
+            releasing the slot voluntarily after ``Tdw^+``).
+        missed_deadline: whether the wait exceeded ``Tw^*``.
+    """
+
+    application: str
+    sensed_at: int
+    wait: Optional[int]
+    dwell: Optional[int]
+    preempted: bool
+    missed_deadline: bool
+
+
+@dataclass(frozen=True)
+class SlotScheduleResult:
+    """Complete outcome of a shared-slot simulation.
+
+    Attributes:
+        config: the slot-system configuration that was simulated.
+        horizon: number of simulated samples.
+        occupancy: per-sample occupant name (``None`` for idle samples).
+        grants: per-application sorted tuple of samples during which the
+            application held the slot.
+        outcomes: per-disturbance timing outcomes in chronological order.
+        deadline_misses: names of applications that missed ``Tw^*``.
+    """
+
+    config: SlotSystemConfig
+    horizon: int
+    occupancy: Tuple[Optional[str], ...]
+    grants: Mapping[str, Tuple[int, ...]]
+    outcomes: Tuple[DisturbanceOutcome, ...]
+    deadline_misses: Tuple[str, ...]
+
+    @property
+    def schedulable(self) -> bool:
+        """True when no application missed its maximum wait time."""
+        return not self.deadline_misses
+
+    def tt_samples_used(self, application: str) -> int:
+        """Total number of TT samples consumed by an application."""
+        return len(self.grants.get(application, ()))
+
+    def mode_sequence(self, application: str) -> List[str]:
+        """Per-sample mode labels (TT/ET) for an application over the horizon."""
+        return mode_sequence_from_grants(self.grants.get(application, ()), self.horizon)
+
+    def outcomes_for(self, application: str) -> Tuple[DisturbanceOutcome, ...]:
+        """Outcomes of the given application only."""
+        return tuple(outcome for outcome in self.outcomes if outcome.application == application)
+
+
+class SlotScheduleSimulator:
+    """Deterministic simulator of one TT slot shared by several applications."""
+
+    def __init__(self, profiles: Sequence[SwitchingProfile]) -> None:
+        self.config = SlotSystemConfig.from_profiles(profiles)
+
+    def run(self, trace: DisturbanceTrace, horizon: int) -> SlotScheduleResult:
+        """Simulate the slot system for ``horizon`` samples under a disturbance trace.
+
+        Args:
+            trace: the disturbance arrivals; ``event.sample`` is the sample at
+                which the scheduler first sees the request.
+            horizon: number of samples to simulate (must cover the trace).
+
+        Returns:
+            The :class:`SlotScheduleResult` with the occupancy time-line and
+            per-disturbance outcomes.
+        """
+        if horizon <= 0:
+            raise SchedulingError(f"horizon must be positive, got {horizon}")
+        if trace.horizon() >= horizon:
+            raise SchedulingError(
+                f"horizon {horizon} does not cover the last disturbance at sample {trace.horizon()}"
+            )
+        names = self.config.names
+        unknown = set(trace.applications()) - set(names)
+        if unknown:
+            raise SchedulingError(f"trace mentions applications not mapped to this slot: {sorted(unknown)}")
+
+        arrivals_by_sample: Dict[int, List[int]] = {}
+        for event in trace:
+            arrivals_by_sample.setdefault(event.sample, []).append(self.config.index_of(event.application))
+
+        state = initial_state(self.config)
+        occupancy: List[Optional[str]] = []
+        grants: Dict[str, List[int]] = {name: [] for name in names}
+        pending: Dict[int, Dict[str, int]] = {}
+        outcomes: List[DisturbanceOutcome] = []
+        misses: List[str] = []
+
+        for sample in range(horizon):
+            arrivals = arrivals_by_sample.get(sample, ())
+            state, events = advance(self.config, state, arrivals)
+
+            for index in events.admitted:
+                pending[index] = {"sensed_at": sample, "wait": None, "dwell": None}
+            if events.granted is not None:
+                index = events.granted
+                if index in pending:
+                    pending[index]["wait"] = sample - pending[index]["sensed_at"]
+            for index, kind in ((events.preempted, "preempted"), (events.released, "released")):
+                if index is None:
+                    continue
+                record = pending.pop(index, None)
+                if record is None:
+                    continue
+                elapsed = sample - record["sensed_at"]
+                wait = record["wait"] if record["wait"] is not None else 0
+                outcomes.append(
+                    DisturbanceOutcome(
+                        application=names[index],
+                        sensed_at=record["sensed_at"],
+                        wait=wait,
+                        dwell=elapsed - wait,
+                        preempted=(kind == "preempted"),
+                        missed_deadline=False,
+                    )
+                )
+            for index in events.deadline_misses:
+                name = names[index]
+                if name not in misses:
+                    misses.append(name)
+                record = pending.pop(index, None)
+                if record is not None:
+                    outcomes.append(
+                        DisturbanceOutcome(
+                            application=name,
+                            sensed_at=record["sensed_at"],
+                            wait=None,
+                            dwell=None,
+                            preempted=False,
+                            missed_deadline=True,
+                        )
+                    )
+
+            if state.occupant == NO_OCCUPANT:
+                occupancy.append(None)
+            else:
+                occupant_name = names[state.occupant]
+                occupancy.append(occupant_name)
+                grants[occupant_name].append(sample)
+
+        # Close out instances still in flight at the end of the horizon.
+        for index, record in pending.items():
+            outcomes.append(
+                DisturbanceOutcome(
+                    application=names[index],
+                    sensed_at=record["sensed_at"],
+                    wait=record["wait"],
+                    dwell=None,
+                    preempted=False,
+                    missed_deadline=False,
+                )
+            )
+
+        outcomes.sort(key=lambda outcome: (outcome.sensed_at, outcome.application))
+        return SlotScheduleResult(
+            config=self.config,
+            horizon=horizon,
+            occupancy=tuple(occupancy),
+            grants={name: tuple(samples) for name, samples in grants.items()},
+            outcomes=tuple(outcomes),
+            deadline_misses=tuple(misses),
+        )
+
+    # ------------------------------------------------------------- responses
+    def control_trajectories(
+        self,
+        result: SlotScheduleResult,
+        simulators: Mapping[str, ClosedLoopSimulator],
+        disturbed_states: Mapping[str, Sequence[float]],
+        trace: DisturbanceTrace,
+    ) -> Dict[str, ClosedLoopTrajectory]:
+        """Closed-loop responses of every application under the simulated schedule.
+
+        Each application is simulated from its disturbance instant with the
+        per-sample mode sequence extracted from the slot occupancy (TT while
+        it holds the slot, ET otherwise), exactly how the paper produces the
+        response curves of Figs. 8 and 9 from the UPPAAL switching sequences.
+
+        Args:
+            result: the outcome of :meth:`run`.
+            simulators: per-application closed-loop simulators (with both gains).
+            disturbed_states: per-application plant state at the disturbance.
+            trace: the disturbance trace used in :meth:`run` (only the first
+                disturbance of each application is simulated).
+
+        Returns:
+            Mapping from application name to its closed-loop trajectory,
+            starting at the application's disturbance sample.
+        """
+        trajectories: Dict[str, ClosedLoopTrajectory] = {}
+        for name in result.config.names:
+            events = trace.for_application(name)
+            if not events or name not in simulators:
+                continue
+            start = events[0].sample
+            modes = result.mode_sequence(name)[start:]
+            trajectories[name] = simulators[name].simulate_mode_sequence(
+                disturbed_states[name], modes
+            )
+        return trajectories

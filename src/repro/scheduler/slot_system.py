@@ -1,0 +1,358 @@
+"""Discrete-time semantics of one shared TT slot (the core transition system).
+
+This module defines the *single* place where the joint semantics of the
+switching strategy (Fig. 1), the arbitration policy (Sec. 4) and the
+discrete-time scheduler (Fig. 7) are encoded as a pure transition function
+over immutable states:
+
+* :class:`SlotSystemConfig` — the applications mapped to the slot and an
+  optional per-application disturbance-instance budget (the paper's
+  verification acceleration).
+* :class:`SlotSystemState` — a hashable snapshot of every application's
+  phase, the request buffer and the slot occupancy.
+* :func:`advance` — one sample-boundary step: new disturbances are admitted
+  to the request buffer, wait counters advance, the occupant is released or
+  preempted according to its dwell bounds, and the slot is granted to the
+  waiting application with the smallest slack.
+
+Both the deterministic trace simulator (:mod:`repro.scheduler.simulator`)
+and the exhaustive verification engine (:mod:`repro.verification`) are thin
+layers over this function, so simulation and verification can never drift
+apart semantically.
+
+Phase encoding per application (all counters in samples):
+
+* ``("S",)``                      — Steady: no pending disturbance.
+* ``("W", wait)``                 — ET_Wait: request queued, waited ``wait``.
+* ``("T", wait_at_grant, dwell)`` — TT: holding the slot.
+* ``("F", elapsed)``              — ET_Safe: disturbance handled, waiting for
+  the minimum inter-arrival time ``r`` to elapse.
+* ``("D",)``                      — Done: instance budget exhausted
+  (verification only; behaves like Steady but can never be disturbed again).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import SchedulingError
+from ..switching.profile import SwitchingProfile
+
+#: Phase tags used in the per-application phase tuples.
+STEADY = "S"
+WAITING = "W"
+HOLDING = "T"
+SAFE = "F"
+DONE = "D"
+
+Phase = Tuple
+NO_OCCUPANT = -1
+
+
+@dataclass(frozen=True)
+class SlotSystemConfig:
+    """Static configuration of a shared-slot system.
+
+    Attributes:
+        profiles: switching profiles of the applications sharing the slot,
+            in a fixed order (the order defines the application indices).
+        instance_budget: optional per-application limit on the number of
+            disturbance instances considered; ``None`` entries (or an empty
+            mapping) mean unbounded.  Used by the verification acceleration.
+    """
+
+    profiles: Tuple[SwitchingProfile, ...]
+    instance_budget: Tuple[Optional[int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise SchedulingError("a slot system needs at least one application")
+        names = [profile.name for profile in self.profiles]
+        if len(set(names)) != len(names):
+            raise SchedulingError(f"duplicate application names in slot system: {names}")
+        if self.instance_budget and len(self.instance_budget) != len(self.profiles):
+            raise SchedulingError(
+                "instance_budget must be empty or have one entry per application"
+            )
+        if not self.instance_budget:
+            object.__setattr__(
+                self, "instance_budget", tuple(None for _ in self.profiles)
+            )
+
+    @classmethod
+    def from_profiles(
+        cls,
+        profiles: Iterable[SwitchingProfile],
+        instance_budget: Optional[Mapping[str, int]] = None,
+    ) -> "SlotSystemConfig":
+        """Build a config from profiles, ordering applications by name."""
+        ordered = tuple(sorted(profiles, key=lambda profile: profile.name))
+        if instance_budget is None:
+            budget: Tuple[Optional[int], ...] = tuple(None for _ in ordered)
+        else:
+            budget = tuple(instance_budget.get(profile.name) for profile in ordered)
+        return cls(profiles=ordered, instance_budget=budget)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Application names in index order."""
+        return tuple(profile.name for profile in self.profiles)
+
+    def index_of(self, name: str) -> int:
+        """Index of an application by name."""
+        for index, profile in enumerate(self.profiles):
+            if profile.name == name:
+                return index
+        raise SchedulingError(f"application {name!r} is not part of this slot system")
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+
+@dataclass(frozen=True)
+class SlotSystemState:
+    """Immutable snapshot of the shared-slot system at one sample.
+
+    Attributes:
+        phases: per-application phase tuples (see module docstring).
+        buffer: application indices currently queued for the slot, in service
+            order (head is served next).
+        occupant: index of the application holding the slot, or ``-1``.
+        instances_used: number of disturbance instances each application has
+            experienced so far (used with instance budgets).
+    """
+
+    phases: Tuple[Phase, ...]
+    buffer: Tuple[int, ...]
+    occupant: int
+    instances_used: Tuple[int, ...]
+
+    def phase_of(self, index: int) -> Phase:
+        """Phase tuple of the application with the given index."""
+        return self.phases[index]
+
+    def is_steady(self, index: int) -> bool:
+        """Whether the application can receive a new disturbance."""
+        return self.phases[index][0] == STEADY
+
+    def holds_slot(self, index: int) -> bool:
+        """Whether the application currently occupies the slot."""
+        return self.occupant == index
+
+    def slot_free(self) -> bool:
+        """Whether the slot is currently idle."""
+        return self.occupant == NO_OCCUPANT
+
+
+@dataclass(frozen=True)
+class StepEvents:
+    """Observable events produced by one :func:`advance` step.
+
+    All entries contain application *indices*; use the config to map back to
+    names.  ``deadline_misses`` is the verification-relevant error set: a
+    non-empty value corresponds to some application automaton reaching its
+    Error location.
+    """
+
+    admitted: Tuple[int, ...] = ()
+    granted: Optional[int] = None
+    preempted: Optional[int] = None
+    released: Optional[int] = None
+    deadline_misses: Tuple[int, ...] = ()
+    recovered: Tuple[int, ...] = ()
+
+    @property
+    def has_error(self) -> bool:
+        """True when at least one application missed its maximum wait time."""
+        return bool(self.deadline_misses)
+
+
+def initial_state(config: SlotSystemConfig) -> SlotSystemState:
+    """All applications steady, the buffer empty and the slot idle."""
+    count = len(config)
+    return SlotSystemState(
+        phases=tuple((STEADY,) for _ in range(count)),
+        buffer=(),
+        occupant=NO_OCCUPANT,
+        instances_used=tuple(0 for _ in range(count)),
+    )
+
+
+def steady_applications(config: SlotSystemConfig, state: SlotSystemState) -> Tuple[int, ...]:
+    """Indices of applications that may legally receive a disturbance now."""
+    return tuple(index for index in range(len(config)) if state.is_steady(index))
+
+
+def _insert_sorted(
+    config: SlotSystemConfig,
+    buffer: List[int],
+    phases: List[Phase],
+    new_index: int,
+) -> None:
+    """Insert a new request into the buffer ordered by remaining slack.
+
+    Mirrors the paper's Sort automaton: the new request is placed after every
+    queued request whose absolute deadline is not later than its own, so ties
+    keep the earlier request ahead (stable insertion).
+    """
+    new_profile = config.profiles[new_index]
+    new_wait = phases[new_index][1]
+    new_slack = new_profile.max_wait - new_wait
+    position = 0
+    while position < len(buffer):
+        queued_index = buffer[position]
+        queued_profile = config.profiles[queued_index]
+        queued_wait = phases[queued_index][1]
+        queued_slack = queued_profile.max_wait - queued_wait
+        if queued_slack <= new_slack:
+            position += 1
+        else:
+            break
+    buffer.insert(position, new_index)
+
+
+def advance(
+    config: SlotSystemConfig,
+    state: SlotSystemState,
+    arrivals: Iterable[int] = (),
+) -> Tuple[SlotSystemState, StepEvents]:
+    """Advance the shared-slot system by one sample.
+
+    Args:
+        config: the static slot-system configuration.
+        state: the current state (describing the system *before* this sample).
+        arrivals: indices of applications whose disturbance is sensed at this
+            sample boundary.  They must currently be steady (and within their
+            instance budget); offering anything else raises
+            :class:`~repro.exceptions.SchedulingError`.
+
+    Returns:
+        ``(next_state, events)`` where ``next_state`` describes the system
+        during the new sample (in particular ``next_state.occupant`` is the
+        application transmitting in the TT slot during that sample) and
+        ``events`` records grants, preemption, release, admissions and
+        deadline misses observed at this boundary.
+    """
+    arrivals = tuple(sorted(set(int(index) for index in arrivals)))
+    phases: List[Phase] = list(state.phases)
+    buffer: List[int] = list(state.buffer)
+    occupant = state.occupant
+    instances = list(state.instances_used)
+
+    # -- 1. validate and admit new disturbances -----------------------------
+    for index in arrivals:
+        if index < 0 or index >= len(config):
+            raise SchedulingError(f"arrival index {index} out of range")
+        if phases[index][0] != STEADY:
+            raise SchedulingError(
+                f"application {config.names[index]!r} received a disturbance while in phase "
+                f"{phases[index][0]!r}; the sporadic model forbids this"
+            )
+        budget = config.instance_budget[index]
+        if budget is not None and instances[index] >= budget:
+            raise SchedulingError(
+                f"application {config.names[index]!r} exceeded its instance budget {budget}"
+            )
+
+    # -- 2. advance the clocks of waiting / holding / recovering apps -------
+    recovered: List[int] = []
+    for index, phase in enumerate(phases):
+        tag = phase[0]
+        if tag == WAITING:
+            phases[index] = (WAITING, phase[1] + 1)
+        elif tag == HOLDING:
+            phases[index] = (HOLDING, phase[1], phase[2] + 1)
+        elif tag == SAFE:
+            elapsed = phase[1] + 1
+            profile = config.profiles[index]
+            if elapsed >= profile.min_inter_arrival:
+                phases[index] = (STEADY,)
+                recovered.append(index)
+            else:
+                phases[index] = (SAFE, elapsed)
+
+    # -- 3. admit the new requests into the sorted buffer -------------------
+    admitted: List[int] = []
+    for index in arrivals:
+        phases[index] = (WAITING, 0)
+        if config.instance_budget[index] is not None:
+            # Instance counters are only tracked under a budget so that the
+            # unbounded model keeps a finite state space.
+            instances[index] += 1
+        _insert_sorted(config, buffer, phases, index)
+        admitted.append(index)
+
+    # -- 4. release or preempt the current occupant -------------------------
+    def _post_slot_phase(index: int, elapsed: int) -> Phase:
+        # An application whose instance budget is exhausted can never be
+        # disturbed again, so its recovery countdown is irrelevant and the
+        # state space is kept small by collapsing it to Done immediately.
+        budget = config.instance_budget[index]
+        if budget is not None and instances[index] >= budget:
+            return (DONE,)
+        if elapsed >= config.profiles[index].min_inter_arrival:
+            return (STEADY,)
+        return (SAFE, elapsed)
+
+    preempted: Optional[int] = None
+    released: Optional[int] = None
+    if occupant != NO_OCCUPANT:
+        tag, wait_at_grant, dwell = phases[occupant]
+        assert tag == HOLDING
+        profile = config.profiles[occupant]
+        lookup_wait = min(wait_at_grant, profile.max_wait)
+        entry = profile.entry(lookup_wait)
+        if dwell >= entry.max_dwell:
+            released = occupant
+            phases[occupant] = _post_slot_phase(occupant, wait_at_grant + dwell)
+            occupant = NO_OCCUPANT
+        elif dwell >= entry.min_dwell and buffer:
+            preempted = occupant
+            phases[occupant] = _post_slot_phase(occupant, wait_at_grant + dwell)
+            occupant = NO_OCCUPANT
+
+    # -- 5. grant the slot to the head of the buffer ------------------------
+    granted: Optional[int] = None
+    if occupant == NO_OCCUPANT and buffer:
+        granted = buffer.pop(0)
+        wait = phases[granted][1]
+        phases[granted] = (HOLDING, wait, 0)
+        occupant = granted
+
+    # -- 6. detect deadline misses ------------------------------------------
+    misses: List[int] = []
+    for index in buffer:
+        wait = phases[index][1]
+        if wait > config.profiles[index].max_wait:
+            misses.append(index)
+    if granted is not None:
+        wait_at_grant = phases[granted][1]
+        if wait_at_grant > config.profiles[granted].max_wait:
+            misses.append(granted)
+
+    next_state = SlotSystemState(
+        phases=tuple(phases),
+        buffer=tuple(buffer),
+        occupant=occupant,
+        instances_used=tuple(instances),
+    )
+    events = StepEvents(
+        admitted=tuple(admitted),
+        granted=granted,
+        preempted=preempted,
+        released=released,
+        deadline_misses=tuple(sorted(misses)),
+        recovered=tuple(recovered),
+    )
+    return next_state, events
+
+
+def quiescent(state: SlotSystemState) -> bool:
+    """True when no application is waiting, holding or recovering.
+
+    In a quiescent state the only enabled behaviour is the arrival of new
+    disturbances, so exploration can stop once every application is steady
+    or done and the state has been seen before.
+    """
+    return all(phase[0] in (STEADY, DONE) for phase in state.phases) and state.occupant == NO_OCCUPANT

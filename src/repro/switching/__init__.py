@@ -1,0 +1,29 @@
+"""Bi-modal switching control strategy: modes, dwell-time analysis and
+switching profiles (paper Sec. 3)."""
+
+from .controller import ApplicationState, ControllerStatus, SwitchingController
+from .dwell import DwellAnalysisConfig, DwellAnalysisResult, DwellTimeAnalyzer
+from .modes import (
+    Mode,
+    SwitchingPattern,
+    mode_sequence_from_grants,
+    summarize_mode_sequence,
+    tt_sample_count,
+)
+from .profile import DwellTableEntry, SwitchingProfile
+
+__all__ = [
+    "Mode",
+    "SwitchingPattern",
+    "mode_sequence_from_grants",
+    "summarize_mode_sequence",
+    "tt_sample_count",
+    "DwellTableEntry",
+    "SwitchingProfile",
+    "DwellAnalysisConfig",
+    "DwellAnalysisResult",
+    "DwellTimeAnalyzer",
+    "ApplicationState",
+    "ControllerStatus",
+    "SwitchingController",
+]

@@ -1,0 +1,233 @@
+"""Runtime switching controller implementing the strategy of Fig. 1.
+
+The :class:`SwitchingController` is the per-application runtime component:
+it tracks the application's local mode (Steady, ET-wait, TT, ET-safe),
+requests the TT slot when a disturbance is sensed, looks up the dwell bounds
+``(Tdw^-, Tdw^+)`` for the experienced wait time when the slot is granted,
+and releases the slot after the maximum useful dwell time (or when preempted
+after the minimum dwell time).
+
+The class is deliberately independent of the bus/scheduler implementation:
+the scheduler simulator (and, in a real deployment, the middleware of [8])
+drives it through :meth:`tick`, :meth:`grant` and :meth:`preempt`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..exceptions import SchedulingError
+from .modes import Mode
+from .profile import SwitchingProfile
+
+
+class ApplicationState(str, enum.Enum):
+    """Local states of the switching controller (mirrors the application automaton)."""
+
+    STEADY = "Steady"
+    ET_WAIT = "ET_Wait"
+    TT = "TT"
+    ET_SAFE = "ET_Safe"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class ControllerStatus:
+    """Snapshot of the controller state at one sample (for traces and tests)."""
+
+    sample: int
+    state: ApplicationState
+    mode: Mode
+    wait_elapsed: Optional[int]
+    dwell_elapsed: Optional[int]
+    deadline: Optional[int]
+
+
+class SwitchingController:
+    """Per-application runtime of the bi-modal switching strategy.
+
+    Args:
+        profile: the application's switching profile.
+
+    The controller is advanced one sample at a time with :meth:`tick`; slot
+    grant and preemption are signalled with :meth:`grant` and
+    :meth:`preempt`.  The mode used for the *current* sample is returned by
+    :meth:`current_mode` (TT only while the controller holds the slot).
+    """
+
+    def __init__(self, profile: SwitchingProfile) -> None:
+        self.profile = profile
+        self._state = ApplicationState.STEADY
+        self._sample = 0
+        self._wait_elapsed: Optional[int] = None
+        self._dwell_elapsed: Optional[int] = None
+        self._min_dwell: Optional[int] = None
+        self._max_dwell: Optional[int] = None
+        self._since_disturbance: Optional[int] = None
+        self._missed_deadline = False
+        self._history: List[ControllerStatus] = []
+
+    # -------------------------------------------------------------- queries
+    @property
+    def state(self) -> ApplicationState:
+        """Current local state."""
+        return self._state
+
+    @property
+    def missed_deadline(self) -> bool:
+        """True when the controller waited longer than ``Tw^*`` for the slot."""
+        return self._missed_deadline
+
+    @property
+    def wait_elapsed(self) -> Optional[int]:
+        """Samples waited so far for the TT slot (``None`` outside ET_Wait/TT)."""
+        return self._wait_elapsed
+
+    @property
+    def dwell_elapsed(self) -> Optional[int]:
+        """Samples spent in the TT slot for the current disturbance."""
+        return self._dwell_elapsed
+
+    @property
+    def history(self) -> List[ControllerStatus]:
+        """Per-sample status trace recorded by :meth:`tick`."""
+        return list(self._history)
+
+    def wants_slot(self) -> bool:
+        """Whether the controller is currently requesting the TT slot."""
+        return self._state is ApplicationState.ET_WAIT
+
+    def holds_slot(self) -> bool:
+        """Whether the controller currently occupies the TT slot."""
+        return self._state is ApplicationState.TT
+
+    def is_preemptable(self) -> bool:
+        """Whether the controller has completed its minimum dwell time."""
+        if self._state is not ApplicationState.TT:
+            return False
+        assert self._dwell_elapsed is not None and self._min_dwell is not None
+        return self._dwell_elapsed >= self._min_dwell
+
+    def wants_release(self) -> bool:
+        """Whether the controller has exhausted its maximum useful dwell time."""
+        if self._state is not ApplicationState.TT:
+            return False
+        assert self._dwell_elapsed is not None and self._max_dwell is not None
+        return self._dwell_elapsed >= self._max_dwell
+
+    def deadline(self) -> Optional[int]:
+        """Remaining slack ``D = Tw^* - Tw``; ``None`` when not waiting."""
+        if self._state is not ApplicationState.ET_WAIT or self._wait_elapsed is None:
+            return None
+        return self.profile.deadline(self._wait_elapsed)
+
+    def current_mode(self) -> Mode:
+        """The communication/control mode used for the current sample."""
+        return Mode.TT if self._state is ApplicationState.TT else Mode.ET
+
+    # --------------------------------------------------------------- events
+    def disturb(self) -> None:
+        """A disturbance is sensed at the current sample.
+
+        The controller transitions to ET_Wait and starts counting the wait
+        time.  Disturbing an application that is still handling a previous
+        disturbance violates the sporadic model and raises.
+        """
+        if self._state not in (ApplicationState.STEADY, ApplicationState.ET_SAFE):
+            raise SchedulingError(
+                f"{self.profile.name}: disturbance while in state {self._state} violates "
+                f"the sporadic model (r = {self.profile.min_inter_arrival})"
+            )
+        self._state = ApplicationState.ET_WAIT
+        self._wait_elapsed = 0
+        self._dwell_elapsed = None
+        self._since_disturbance = 0
+
+    def grant(self) -> None:
+        """The scheduler grants the TT slot to this application."""
+        if self._state is not ApplicationState.ET_WAIT:
+            raise SchedulingError(
+                f"{self.profile.name}: slot granted while in state {self._state}"
+            )
+        assert self._wait_elapsed is not None
+        if self._wait_elapsed > self.profile.max_wait:
+            # The grant came too late; the requirement is already violated.
+            self._missed_deadline = True
+            wait = self.profile.max_wait
+        else:
+            wait = self._wait_elapsed
+        entry = self.profile.entry(wait)
+        self._min_dwell = entry.min_dwell
+        self._max_dwell = entry.max_dwell
+        self._dwell_elapsed = 0
+        self._state = ApplicationState.TT
+
+    def preempt(self) -> None:
+        """The scheduler preempts this application from the TT slot."""
+        if self._state is not ApplicationState.TT:
+            raise SchedulingError(
+                f"{self.profile.name}: preempted while in state {self._state}"
+            )
+        assert self._dwell_elapsed is not None and self._min_dwell is not None
+        if self._dwell_elapsed < self._min_dwell:
+            raise SchedulingError(
+                f"{self.profile.name}: preempted after {self._dwell_elapsed} samples, "
+                f"before the minimum dwell time {self._min_dwell}"
+            )
+        self._enter_et_safe()
+
+    def release(self) -> None:
+        """The application voluntarily releases the slot (after ``Tdw^+``)."""
+        if self._state is not ApplicationState.TT:
+            raise SchedulingError(
+                f"{self.profile.name}: released while in state {self._state}"
+            )
+        self._enter_et_safe()
+
+    def _enter_et_safe(self) -> None:
+        self._state = ApplicationState.ET_SAFE
+        self._min_dwell = None
+        self._max_dwell = None
+
+    # ----------------------------------------------------------------- tick
+    def tick(self) -> ControllerStatus:
+        """Advance the controller by one sample and return its status.
+
+        The returned status describes the sample that just elapsed.  Counters
+        are updated *after* the status snapshot, matching the discrete-time
+        scheduler which acts at sample boundaries.
+        """
+        status = ControllerStatus(
+            sample=self._sample,
+            state=self._state,
+            mode=self.current_mode(),
+            wait_elapsed=self._wait_elapsed,
+            dwell_elapsed=self._dwell_elapsed,
+            deadline=self.deadline(),
+        )
+        self._history.append(status)
+        self._sample += 1
+
+        if self._state is ApplicationState.ET_WAIT:
+            assert self._wait_elapsed is not None
+            self._wait_elapsed += 1
+            if self._wait_elapsed > self.profile.max_wait:
+                self._missed_deadline = True
+        elif self._state is ApplicationState.TT:
+            assert self._dwell_elapsed is not None
+            self._dwell_elapsed += 1
+        if self._since_disturbance is not None:
+            self._since_disturbance += 1
+            if (
+                self._state is ApplicationState.ET_SAFE
+                and self._since_disturbance >= self.profile.min_inter_arrival
+            ):
+                self._state = ApplicationState.STEADY
+                self._since_disturbance = None
+                self._wait_elapsed = None
+                self._dwell_elapsed = None
+        return status

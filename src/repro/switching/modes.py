@@ -1,0 +1,110 @@
+"""Mode definitions and mode-schedule helpers for the bi-modal switching strategy.
+
+The paper's strategy (Sec. 3, Fig. 1) produces, for every disturbance, a mode
+schedule of the shape
+
+    ET x Tw  ->  TT x Tdw  ->  ET (until the next disturbance)
+
+where ``Tw`` is the number of samples the application waited for the TT slot
+and ``Tdw`` the number of samples it dwelled in the TT mode.  This module
+provides a small vocabulary for such schedules so that the dwell-time
+analysis, the scheduler simulator and the figure pipelines all speak the same
+language.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..exceptions import SimulationError
+
+
+class Mode(str, enum.Enum):
+    """The two communication/control modes of the switching strategy."""
+
+    TT = "TT"
+    """Time-triggered: static FlexRay slot, fast gain ``K_T``, no delay."""
+
+    ET = "ET"
+    """Event-triggered: dynamic segment, slow gain ``K_E``, one-sample delay."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SwitchingPattern:
+    """A wait/dwell switching pattern after a single disturbance.
+
+    Attributes:
+        wait: number of ET samples before the TT slot is granted (``Tw``).
+        dwell: number of consecutive TT samples (``Tdw``).
+    """
+
+    wait: int
+    dwell: int
+
+    def __post_init__(self) -> None:
+        if self.wait < 0:
+            raise SimulationError(f"wait time must be non-negative, got {self.wait}")
+        if self.dwell < 0:
+            raise SimulationError(f"dwell time must be non-negative, got {self.dwell}")
+
+    def to_mode_sequence(self, horizon: int) -> List[str]:
+        """Expand the pattern to a per-sample mode list of length ``horizon``.
+
+        The schedule is ``ET`` for ``wait`` samples, ``TT`` for ``dwell``
+        samples and ``ET`` afterwards.  ``horizon`` must cover at least the
+        wait and dwell phases.
+        """
+        if horizon < self.wait + self.dwell:
+            raise SimulationError(
+                f"horizon {horizon} is shorter than wait+dwell = {self.wait + self.dwell}"
+            )
+        schedule = [Mode.ET.value] * self.wait
+        schedule += [Mode.TT.value] * self.dwell
+        schedule += [Mode.ET.value] * (horizon - len(schedule))
+        return schedule
+
+    @property
+    def total_tt_samples(self) -> int:
+        """Number of TT samples consumed by the pattern."""
+        return self.dwell
+
+
+def mode_sequence_from_grants(grant_samples: Sequence[int], horizon: int) -> List[str]:
+    """Build a per-sample mode list from the set of samples with TT access.
+
+    Args:
+        grant_samples: samples (relative to the disturbance) during which the
+            application holds the TT slot.
+        horizon: length of the schedule to produce.
+
+    Returns:
+        A list of mode labels of length ``horizon``.
+    """
+    grants = set(int(s) for s in grant_samples)
+    if grants and (min(grants) < 0 or max(grants) >= horizon):
+        raise SimulationError(
+            f"grant samples {sorted(grants)} fall outside the horizon [0, {horizon})"
+        )
+    return [Mode.TT.value if k in grants else Mode.ET.value for k in range(horizon)]
+
+
+def summarize_mode_sequence(modes: Sequence[str]) -> List[Tuple[str, int]]:
+    """Run-length encode a mode sequence, e.g. ``[('ET', 4), ('TT', 4), ('ET', 22)]``."""
+    summary: List[Tuple[str, int]] = []
+    for mode in modes:
+        label = str(mode)
+        if summary and summary[-1][0] == label:
+            summary[-1] = (label, summary[-1][1] + 1)
+        else:
+            summary.append((label, 1))
+    return summary
+
+
+def tt_sample_count(modes: Sequence[str]) -> int:
+    """Number of TT samples in a mode sequence."""
+    return sum(1 for mode in modes if str(mode) == Mode.TT.value)

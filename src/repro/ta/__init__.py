@@ -1,0 +1,29 @@
+"""Discrete-time timed-automata engine and explicit-state model checker
+(the UPPAAL substitute used by the verification layer)."""
+
+from .automaton import Action, Edge, Location, Predicate, TimedAutomaton
+from .model_checker import (
+    DEFAULT_MAX_STATES,
+    ModelChecker,
+    ReachabilityResult,
+    TraceStep,
+    count_reachable_states,
+)
+from .network import MutableStateView, Network, NetworkState, StateView
+
+__all__ = [
+    "Location",
+    "Edge",
+    "TimedAutomaton",
+    "Predicate",
+    "Action",
+    "Network",
+    "NetworkState",
+    "StateView",
+    "MutableStateView",
+    "ModelChecker",
+    "ReachabilityResult",
+    "TraceStep",
+    "count_reachable_states",
+    "DEFAULT_MAX_STATES",
+]

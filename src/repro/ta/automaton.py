@@ -1,0 +1,170 @@
+"""Core timed-automata data structures.
+
+The verification layer of the paper models the system as a network of timed
+automata (UPPAAL).  This module provides the building blocks of our
+discrete-time reimplementation:
+
+* :class:`Location` — a named control location with an optional invariant and
+  the UPPAAL-style *committed* / *urgent* attributes.
+* :class:`Edge` — a guarded, optionally synchronising transition with an
+  update action.
+* :class:`TimedAutomaton` — a single automaton: locations, edges, an initial
+  location and the clocks it owns.
+
+Guards, invariants and updates are Python callables over a
+:class:`~repro.ta.network.StateView`, mirroring how UPPAAL models use
+C-like expressions and functions over clocks and (shared) variables.
+
+Discrete-time semantics
+-----------------------
+All clocks advance in integer steps of one sample.  The paper's system is
+sampled — disturbances are sensed, requests queued and slots granted only at
+sample boundaries — so integer-valued clocks are exact for this model class
+(see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ModelError
+
+#: Type of guard and invariant callables: ``StateView -> bool``.
+Predicate = Callable[["StateView"], bool]
+
+#: Type of update callables: ``MutableStateView -> None``.
+Action = Callable[["MutableStateView"], None]
+
+
+@dataclass(frozen=True)
+class Location:
+    """A control location of a timed automaton.
+
+    Attributes:
+        name: unique (per automaton) location name.
+        invariant: optional predicate that must hold while the automaton
+            remains in the location; a delay step is only allowed if every
+            active invariant still holds after the step.
+        committed: UPPAAL committed location — time may not pass and the next
+            transition in the network must involve a committed location.
+        urgent: time may not pass while the location is active.
+        error: marks the location as an error location for reachability
+            queries (used by the application automaton's ``Error`` state).
+    """
+
+    name: str
+    invariant: Optional[Predicate] = None
+    committed: bool = False
+    urgent: bool = False
+    error: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("location name must be non-empty")
+        if self.committed and self.urgent:
+            # Committed already implies urgency; keep the flags unambiguous.
+            object.__setattr__(self, "urgent", False)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A transition between two locations.
+
+    Attributes:
+        source: source location name.
+        target: target location name.
+        guard: optional enabling predicate (default: always enabled).
+        update: optional action applied when the edge fires.
+        sync: optional synchronisation label, e.g. ``"reqTT!"`` (emit) or
+            ``"getTT[C1]?"`` (receive); ``None`` for internal edges.
+        label: optional human-readable description (used in traces).
+    """
+
+    source: str
+    target: str
+    guard: Optional[Predicate] = None
+    update: Optional[Action] = None
+    sync: Optional[str] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sync is not None and not (self.sync.endswith("!") or self.sync.endswith("?")):
+            raise ModelError(f"sync label {self.sync!r} must end with '!' or '?'")
+
+    @property
+    def channel(self) -> Optional[str]:
+        """Channel name of the synchronisation (without the direction suffix)."""
+        if self.sync is None:
+            return None
+        return self.sync[:-1]
+
+    @property
+    def is_emit(self) -> bool:
+        """True for ``chan!`` edges."""
+        return self.sync is not None and self.sync.endswith("!")
+
+    @property
+    def is_receive(self) -> bool:
+        """True for ``chan?`` edges."""
+        return self.sync is not None and self.sync.endswith("?")
+
+
+class TimedAutomaton:
+    """A single timed automaton: named locations, edges and local clocks.
+
+    Args:
+        name: automaton instance name (unique within a network).
+        locations: the automaton's locations.
+        edges: the automaton's edges (sources/targets must be declared locations).
+        initial: name of the initial location.
+        clocks: names of the clocks this automaton owns (clocks live in the
+            network state; ownership is only used for documentation and
+            validation).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        locations: Iterable[Location],
+        edges: Iterable[Edge],
+        initial: str,
+        clocks: Iterable[str] = (),
+    ) -> None:
+        self.name = name
+        self.locations: Dict[str, Location] = {}
+        for location in locations:
+            if location.name in self.locations:
+                raise ModelError(f"{name}: duplicate location {location.name!r}")
+            self.locations[location.name] = location
+        if initial not in self.locations:
+            raise ModelError(f"{name}: initial location {initial!r} is not declared")
+        self.initial = initial
+        self.edges: List[Edge] = []
+        for edge in edges:
+            if edge.source not in self.locations:
+                raise ModelError(f"{name}: edge source {edge.source!r} is not a location")
+            if edge.target not in self.locations:
+                raise ModelError(f"{name}: edge target {edge.target!r} is not a location")
+            self.edges.append(edge)
+        self.clocks: Tuple[str, ...] = tuple(clocks)
+
+    def location(self, name: str) -> Location:
+        """Look up a location by name."""
+        if name not in self.locations:
+            raise ModelError(f"{self.name}: unknown location {name!r}")
+        return self.locations[name]
+
+    def outgoing(self, location_name: str) -> List[Edge]:
+        """Edges leaving the given location."""
+        return [edge for edge in self.edges if edge.source == location_name]
+
+    def error_locations(self) -> Tuple[str, ...]:
+        """Names of the locations flagged as error locations."""
+        return tuple(name for name, location in self.locations.items() if location.error)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimedAutomaton(name={self.name!r}, locations={len(self.locations)}, "
+            f"edges={len(self.edges)})"
+        )

@@ -1,0 +1,169 @@
+"""Explicit-state reachability checking over timed-automata networks.
+
+The only query the paper needs is *reachability of an error location*:
+"the whole system is schedulable ... if no application reaches its Error
+state" (Sec. 4).  This module provides that query — plus generic
+predicate-reachability and invariant checking — via breadth-first search
+over the discrete-time network semantics of :mod:`repro.ta.network`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import VerificationError
+from .network import Network, NetworkState
+
+#: Predicate over network states used for reachability queries.
+StatePredicate = Callable[[Network, NetworkState], bool]
+
+#: Default cap on explored states.
+DEFAULT_MAX_STATES = 2_000_000
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One step of a witness trace: the transition label and the reached state."""
+
+    label: str
+    state: NetworkState
+
+
+@dataclass(frozen=True)
+class ReachabilityResult:
+    """Outcome of a reachability query.
+
+    Attributes:
+        reachable: whether a state satisfying the predicate was found.
+        explored_states: number of distinct states visited.
+        elapsed_seconds: wall-clock search time.
+        trace: witness trace from the initial state to the found state
+            (empty when unreachable or when traces were disabled).
+        truncated: whether the exploration stopped at the state cap.
+    """
+
+    reachable: bool
+    explored_states: int
+    elapsed_seconds: float
+    trace: Tuple[TraceStep, ...] = ()
+    truncated: bool = False
+
+    def __bool__(self) -> bool:
+        return self.reachable
+
+
+class ModelChecker:
+    """Breadth-first explicit-state model checker for TA networks."""
+
+    def __init__(self, network: Network, max_states: int = DEFAULT_MAX_STATES) -> None:
+        self.network = network
+        self.max_states = int(max_states)
+
+    # ---------------------------------------------------------------- queries
+    def reachable(
+        self,
+        predicate: StatePredicate,
+        with_trace: bool = True,
+    ) -> ReachabilityResult:
+        """Is some state satisfying ``predicate`` reachable from the initial state?"""
+        start = time.perf_counter()
+        network = self.network
+        root = network.initial_state()
+
+        if predicate(network, root):
+            return ReachabilityResult(True, 1, time.perf_counter() - start, ())
+
+        visited = {root}
+        queue = deque([root])
+        parents: Dict[NetworkState, Tuple[Optional[NetworkState], str]] = {root: (None, "")}
+        truncated = False
+        found: Optional[NetworkState] = None
+
+        while queue:
+            state = queue.popleft()
+            for successor, label in network.successors(state):
+                if successor in visited:
+                    continue
+                visited.add(successor)
+                if with_trace:
+                    parents[successor] = (state, label)
+                if predicate(network, successor):
+                    found = successor
+                    queue.clear()
+                    break
+                queue.append(successor)
+                if len(visited) >= self.max_states:
+                    truncated = True
+                    queue.clear()
+                    break
+            if found is not None or truncated:
+                break
+
+        elapsed = time.perf_counter() - start
+        trace: Tuple[TraceStep, ...] = ()
+        if found is not None and with_trace:
+            trace = self._build_trace(parents, found)
+        return ReachabilityResult(
+            reachable=found is not None,
+            explored_states=len(visited),
+            elapsed_seconds=elapsed,
+            trace=trace,
+            truncated=truncated,
+        )
+
+    def invariant_holds(self, predicate: StatePredicate) -> ReachabilityResult:
+        """Check that ``predicate`` holds in every reachable state (A[] predicate).
+
+        Implemented as reachability of the negation; ``reachable=False`` in
+        the returned result means the invariant holds.
+        """
+        return self.reachable(lambda network, state: not predicate(network, state))
+
+    def error_reachable(self, with_trace: bool = True) -> ReachabilityResult:
+        """Can any automaton reach a location flagged as an error location?"""
+        error_sets = []
+        for automaton in self.network.automata:
+            error_sets.append(frozenset(automaton.error_locations()))
+
+        def predicate(network: Network, state: NetworkState) -> bool:
+            return any(
+                state.locations[index] in error_sets[index]
+                for index in range(len(network.automata))
+            )
+
+        return self.reachable(predicate, with_trace=with_trace)
+
+    # --------------------------------------------------------------- internals
+    def _build_trace(
+        self,
+        parents: Dict[NetworkState, Tuple[Optional[NetworkState], str]],
+        target: NetworkState,
+    ) -> Tuple[TraceStep, ...]:
+        steps: List[TraceStep] = []
+        cursor: Optional[NetworkState] = target
+        while cursor is not None:
+            parent, label = parents[cursor]
+            if parent is None:
+                break
+            steps.append(TraceStep(label=label, state=cursor))
+            cursor = parent
+        steps.reverse()
+        return tuple(steps)
+
+
+def count_reachable_states(network: Network, max_states: int = DEFAULT_MAX_STATES) -> int:
+    """Size of the reachable state space (up to ``max_states``).
+
+    Useful for the verification-time experiments: the paper's acceleration
+    shrinks exactly this number.
+    """
+    checker = ModelChecker(network, max_states=max_states)
+    result = checker.reachable(lambda *_: False, with_trace=False)
+    if result.truncated:
+        raise VerificationError(
+            f"state space exceeds the exploration cap of {max_states} states"
+        )
+    return result.explored_states

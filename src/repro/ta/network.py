@@ -1,0 +1,312 @@
+"""Networks of timed automata with shared variables and channel synchronisation.
+
+A :class:`Network` owns the global integer clocks, the shared (integer or
+tuple-valued) variables and a set of :class:`~repro.ta.automaton.TimedAutomaton`
+instances.  Network states are immutable and hashable so that the explicit
+state model checker can store them in hash sets.
+
+The view classes (:class:`StateView`, :class:`MutableStateView`) are what
+guards, invariants and updates receive — they expose clocks, variables and
+the current locations of all automata, mirroring how UPPAAL expressions can
+read clocks, shared variables and (via broadcast state) other templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ModelError
+from .automaton import Edge, Location, TimedAutomaton
+
+#: Values a shared variable may take: integers or (nested) tuples of integers.
+VariableValue = Union[int, Tuple]
+
+
+@dataclass(frozen=True)
+class NetworkState:
+    """Immutable snapshot of a network: locations, clock values and variables."""
+
+    locations: Tuple[str, ...]
+    clocks: Tuple[int, ...]
+    variables: Tuple[VariableValue, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkState(locations={self.locations}, clocks={self.clocks})"
+
+
+class StateView:
+    """Read-only view of a network state, passed to guards and invariants."""
+
+    def __init__(self, network: "Network", state: NetworkState, automaton_index: int) -> None:
+        self._network = network
+        self._state = state
+        self._automaton_index = automaton_index
+
+    # ------------------------------------------------------------ inspection
+    def clock(self, name: str) -> int:
+        """Current value of a clock."""
+        return self._state.clocks[self._network.clock_index(name)]
+
+    def var(self, name: str) -> VariableValue:
+        """Current value of a shared variable."""
+        return self._state.variables[self._network.variable_index(name)]
+
+    def location_of(self, automaton_name: str) -> str:
+        """Current location of another automaton in the network."""
+        return self._state.locations[self._network.automaton_index(automaton_name)]
+
+    @property
+    def own_location(self) -> str:
+        """Current location of the automaton evaluating the expression."""
+        return self._state.locations[self._automaton_index]
+
+
+class MutableStateView(StateView):
+    """Mutable view used by edge updates: can write variables and reset clocks."""
+
+    def __init__(self, network: "Network", state: NetworkState, automaton_index: int) -> None:
+        super().__init__(network, state, automaton_index)
+        self._clocks = list(state.clocks)
+        self._variables = list(state.variables)
+
+    def clock(self, name: str) -> int:
+        return self._clocks[self._network.clock_index(name)]
+
+    def var(self, name: str) -> VariableValue:
+        return self._variables[self._network.variable_index(name)]
+
+    def reset_clock(self, name: str, value: int = 0) -> None:
+        """Reset a clock to the given value (default 0)."""
+        self._clocks[self._network.clock_index(name)] = int(value)
+
+    def set_var(self, name: str, value: VariableValue) -> None:
+        """Assign a shared variable; tuples must stay tuples (hashability)."""
+        if isinstance(value, list):
+            value = tuple(value)
+        self._variables[self._network.variable_index(name)] = value
+
+    def snapshot(self, locations: Tuple[str, ...]) -> NetworkState:
+        """Freeze the mutated clocks/variables into a new state."""
+        return NetworkState(
+            locations=locations,
+            clocks=tuple(self._clocks),
+            variables=tuple(self._variables),
+        )
+
+
+class Network:
+    """A network of timed automata sharing clocks, variables and channels.
+
+    Args:
+        automata: the automata instances (names must be unique).
+        clocks: mapping from clock name to an optional ceiling.  Clock values
+            are clamped at their ceiling during delay steps; a clamped clock
+            still satisfies every guard of the form ``clock >= c`` for
+            ``c <= ceiling``, which keeps the state space finite without
+            changing the truth of the bounded guards used by the models.
+        variables: mapping from variable name to its initial value.
+    """
+
+    def __init__(
+        self,
+        automata: Sequence[TimedAutomaton],
+        clocks: Mapping[str, Optional[int]],
+        variables: Mapping[str, VariableValue],
+    ) -> None:
+        if not automata:
+            raise ModelError("a network needs at least one automaton")
+        names = [automaton.name for automaton in automata]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate automaton names: {names}")
+        self.automata: Tuple[TimedAutomaton, ...] = tuple(automata)
+        self._automaton_indices = {automaton.name: i for i, automaton in enumerate(automata)}
+
+        self._clock_names: Tuple[str, ...] = tuple(clocks)
+        self._clock_indices = {name: i for i, name in enumerate(self._clock_names)}
+        self._clock_ceilings: Tuple[Optional[int], ...] = tuple(clocks[name] for name in self._clock_names)
+
+        self._variable_names: Tuple[str, ...] = tuple(variables)
+        self._variable_indices = {name: i for i, name in enumerate(self._variable_names)}
+        initial_values = []
+        for name in self._variable_names:
+            value = variables[name]
+            if isinstance(value, list):
+                value = tuple(value)
+            initial_values.append(value)
+        self._initial_variables: Tuple[VariableValue, ...] = tuple(initial_values)
+
+        declared_clocks = set(self._clock_names)
+        for automaton in automata:
+            for clock in automaton.clocks:
+                if clock not in declared_clocks:
+                    raise ModelError(
+                        f"automaton {automaton.name!r} references undeclared clock {clock!r}"
+                    )
+
+    # -------------------------------------------------------------- indexing
+    def automaton_index(self, name: str) -> int:
+        """Index of an automaton by name."""
+        if name not in self._automaton_indices:
+            raise ModelError(f"unknown automaton {name!r}")
+        return self._automaton_indices[name]
+
+    def clock_index(self, name: str) -> int:
+        """Index of a clock by name."""
+        if name not in self._clock_indices:
+            raise ModelError(f"unknown clock {name!r}")
+        return self._clock_indices[name]
+
+    def variable_index(self, name: str) -> int:
+        """Index of a shared variable by name."""
+        if name not in self._variable_indices:
+            raise ModelError(f"unknown variable {name!r}")
+        return self._variable_indices[name]
+
+    @property
+    def clock_names(self) -> Tuple[str, ...]:
+        """Declared clock names."""
+        return self._clock_names
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """Declared variable names."""
+        return self._variable_names
+
+    # --------------------------------------------------------------- states
+    def initial_state(self) -> NetworkState:
+        """The network's initial state: initial locations, clocks at 0."""
+        return NetworkState(
+            locations=tuple(automaton.initial for automaton in self.automata),
+            clocks=tuple(0 for _ in self._clock_names),
+            variables=self._initial_variables,
+        )
+
+    def location_object(self, automaton_index: int, state: NetworkState) -> Location:
+        """The Location object currently active in the given automaton."""
+        automaton = self.automata[automaton_index]
+        return automaton.location(state.locations[automaton_index])
+
+    def view(self, state: NetworkState, automaton_index: int = 0) -> StateView:
+        """Read-only view of a state (for external queries and predicates)."""
+        return StateView(self, state, automaton_index)
+
+    # ------------------------------------------------------------ successors
+    def _committed_active(self, state: NetworkState) -> bool:
+        return any(
+            self.location_object(i, state).committed for i in range(len(self.automata))
+        )
+
+    def _urgent_active(self, state: NetworkState) -> bool:
+        return any(
+            self.location_object(i, state).committed or self.location_object(i, state).urgent
+            for i in range(len(self.automata))
+        )
+
+    def _edge_enabled(self, edge: Edge, state: NetworkState, automaton_index: int) -> bool:
+        if edge.guard is None:
+            return True
+        return bool(edge.guard(StateView(self, state, automaton_index)))
+
+    def _fire(
+        self,
+        state: NetworkState,
+        firings: Sequence[Tuple[int, Edge]],
+    ) -> NetworkState:
+        """Apply one or two edges (internal, or emitter followed by receiver)."""
+        locations = list(state.locations)
+        working_state = state
+        for automaton_index, edge in firings:
+            view = MutableStateView(self, working_state, automaton_index)
+            if edge.update is not None:
+                edge.update(view)
+            locations[automaton_index] = edge.target
+            working_state = view.snapshot(tuple(locations))
+        return working_state
+
+    def action_successors(self, state: NetworkState) -> List[Tuple[NetworkState, str]]:
+        """All states reachable by one action (internal or synchronised) transition."""
+        successors: List[Tuple[NetworkState, str]] = []
+        committed_active = self._committed_active(state)
+
+        internal: List[Tuple[int, Edge]] = []
+        emitters: Dict[str, List[Tuple[int, Edge]]] = {}
+        receivers: Dict[str, List[Tuple[int, Edge]]] = {}
+
+        for automaton_index, automaton in enumerate(self.automata):
+            current = state.locations[automaton_index]
+            for edge in automaton.outgoing(current):
+                if not self._edge_enabled(edge, state, automaton_index):
+                    continue
+                if edge.sync is None:
+                    internal.append((automaton_index, edge))
+                elif edge.is_emit:
+                    emitters.setdefault(edge.channel, []).append((automaton_index, edge))
+                else:
+                    receivers.setdefault(edge.channel, []).append((automaton_index, edge))
+
+        def allowed(participants: Sequence[int]) -> bool:
+            if not committed_active:
+                return True
+            return any(
+                self.location_object(index, state).committed for index in participants
+            )
+
+        for automaton_index, edge in internal:
+            if not allowed([automaton_index]):
+                continue
+            successor = self._fire(state, [(automaton_index, edge)])
+            label = f"{self.automata[automaton_index].name}: {edge.source}->{edge.target}"
+            successors.append((successor, label))
+
+        for channel, emit_list in emitters.items():
+            for emit_index, emit_edge in emit_list:
+                for recv_index, recv_edge in receivers.get(channel, []):
+                    if recv_index == emit_index:
+                        continue
+                    if not allowed([emit_index, recv_index]):
+                        continue
+                    successor = self._fire(
+                        state, [(emit_index, emit_edge), (recv_index, recv_edge)]
+                    )
+                    label = (
+                        f"{self.automata[emit_index].name}!{channel} -> "
+                        f"{self.automata[recv_index].name}"
+                    )
+                    successors.append((successor, label))
+        return successors
+
+    def delay_successor(self, state: NetworkState) -> Optional[Tuple[NetworkState, str]]:
+        """The state after one time unit, or ``None`` when delay is forbidden.
+
+        Delay is forbidden while a committed or urgent location is active or
+        when advancing the clocks would violate some active invariant.
+        """
+        if self._urgent_active(state):
+            return None
+        new_clocks = []
+        for index, value in enumerate(state.clocks):
+            ceiling = self._clock_ceilings[index]
+            advanced = value + 1
+            if ceiling is not None:
+                advanced = min(advanced, ceiling)
+            new_clocks.append(advanced)
+        candidate = NetworkState(
+            locations=state.locations,
+            clocks=tuple(new_clocks),
+            variables=state.variables,
+        )
+        for automaton_index in range(len(self.automata)):
+            location = self.location_object(automaton_index, candidate)
+            if location.invariant is not None:
+                if not location.invariant(StateView(self, candidate, automaton_index)):
+                    return None
+        return candidate, "delay"
+
+    def successors(self, state: NetworkState) -> List[Tuple[NetworkState, str]]:
+        """All successor states: action transitions plus (when allowed) delay."""
+        result = self.action_successors(state)
+        delayed = self.delay_successor(state)
+        if delayed is not None:
+            result.append(delayed)
+        return result

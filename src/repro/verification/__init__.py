@@ -1,0 +1,23 @@
+"""Control-performance verification: the exhaustive shared-slot verifier,
+the timed-automata models of Figs. 5-7 and the verification acceleration
+of Sec. 5."""
+
+from .acceleration import busy_window, describe_budgets, instance_budgets, interference_horizon
+from .automata import NO_APP, SlotSharingModelBuilder, verify_with_model_checker
+from .exhaustive import DEFAULT_MAX_STATES, ExhaustiveVerifier, verify_slot_sharing
+from .result import CounterexampleStep, VerificationResult
+
+__all__ = [
+    "VerificationResult",
+    "CounterexampleStep",
+    "ExhaustiveVerifier",
+    "verify_slot_sharing",
+    "DEFAULT_MAX_STATES",
+    "SlotSharingModelBuilder",
+    "verify_with_model_checker",
+    "NO_APP",
+    "busy_window",
+    "interference_horizon",
+    "instance_budgets",
+    "describe_budgets",
+]

@@ -1,0 +1,345 @@
+"""Timed-automata models of the applications and the scheduler (Figs. 5-7).
+
+This module rebuilds, on top of the :mod:`repro.ta` engine, the network of
+timed automata the paper verifies with UPPAAL:
+
+* one **application automaton** per control application (Fig. 5) with the
+  locations ``Steady``, ``ET_Wait``, ``TT``, ``ET_SAFE`` and ``Error``;
+* one **scheduler automaton** (Fig. 7) that samples the system every time
+  unit, updates the wait-time counters, admits buffered requests, releases
+  or preempts the slot occupant according to its dwell bounds and grants the
+  slot to the request with the smallest slack.
+
+The paper factors the request sorting into two auxiliary automata (Policy
+and Sort, Fig. 6) that execute in zero time between two samples.  Our engine
+supports arbitrary Python update functions on shared variables — the same
+role UPPAAL's C-like functions play — so the sorting subroutine is executed
+inside the scheduler's boundary update instead of as separate committed
+automata.  The observable behaviour (which request is served when) is
+identical; DESIGN.md documents the modelling choice.
+
+The verification query is the paper's: *no application automaton ever
+reaches its ``Error`` location*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import VerificationError
+from ..switching.profile import SwitchingProfile
+from ..ta.automaton import Edge, Location, TimedAutomaton
+from ..ta.model_checker import ModelChecker, ReachabilityResult
+from ..ta.network import MutableStateView, Network, StateView
+
+#: Sentinel used for "no application" in the shared ``app`` variable.
+NO_APP = -1
+
+
+def _time_clock(index: int) -> str:
+    return f"time[{index}]"
+
+
+class SlotSharingModelBuilder:
+    """Builds the TA network for a set of applications sharing one TT slot.
+
+    Args:
+        profiles: the switching profiles of the applications, in a fixed
+            order (application ``i`` is ``profiles[i]``).
+        instance_budget: optional per-application bound on the number of
+            disturbance instances (the paper's acceleration); ``None`` means
+            unbounded.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[SwitchingProfile],
+        instance_budget: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        if not profiles:
+            raise VerificationError("at least one profile is required")
+        self.profiles: Tuple[SwitchingProfile, ...] = tuple(
+            sorted(profiles, key=lambda profile: profile.name)
+        )
+        budgets = instance_budget or {}
+        self.instance_budget: Tuple[Optional[int], ...] = tuple(
+            budgets.get(profile.name) for profile in self.profiles
+        )
+
+    # ----------------------------------------------------------- applications
+    def _application_automaton(self, index: int) -> TimedAutomaton:
+        profile = self.profiles[index]
+        clock = _time_clock(index)
+        max_wait = profile.max_wait
+        inter_arrival = profile.min_inter_arrival
+        budget = self.instance_budget[index]
+
+        def request_guard(view: StateView) -> bool:
+            if budget is None:
+                return True
+            return view.var(f"instances[{index}]") < budget
+
+        def request_update(view: MutableStateView) -> None:
+            view.reset_clock(clock)
+            buffer0 = list(view.var("buffer0"))
+            buffer0.append(index)
+            view.set_var("buffer0", tuple(buffer0))
+            if budget is not None:
+                view.set_var(f"instances[{index}]", view.var(f"instances[{index}]") + 1)
+
+        def error_guard(view: StateView) -> bool:
+            return view.clock(clock) > max_wait
+
+        def safe_invariant(view: StateView) -> bool:
+            return view.clock(clock) <= inter_arrival
+
+        def recover_guard(view: StateView) -> bool:
+            return view.clock(clock) >= inter_arrival
+
+        locations = [
+            Location("Steady"),
+            Location("ET_Wait"),
+            Location("TT"),
+            Location("ET_SAFE", invariant=safe_invariant),
+            Location("Error", error=True),
+        ]
+        edges = [
+            Edge(
+                "Steady",
+                "ET_Wait",
+                guard=request_guard,
+                update=request_update,
+                sync="reqTT!",
+                label=f"{profile.name}: disturbance",
+            ),
+            Edge(
+                "ET_Wait",
+                "TT",
+                sync=f"getTT[{index}]?",
+                label=f"{profile.name}: slot granted",
+            ),
+            Edge(
+                "ET_Wait",
+                "Error",
+                guard=error_guard,
+                label=f"{profile.name}: maximum wait exceeded",
+            ),
+            Edge(
+                "TT",
+                "ET_SAFE",
+                sync=f"leaveTT[{index}]?",
+                label=f"{profile.name}: slot released",
+            ),
+            Edge(
+                "ET_SAFE",
+                "Steady",
+                guard=recover_guard,
+                label=f"{profile.name}: recovered",
+            ),
+        ]
+        return TimedAutomaton(
+            name=profile.name,
+            locations=locations,
+            edges=edges,
+            initial="Steady",
+            clocks=(clock,),
+        )
+
+    # --------------------------------------------------------------- scheduler
+    def _scheduler_automaton(self) -> TimedAutomaton:
+        profiles = self.profiles
+        count = len(profiles)
+
+        def boundary_guard(view: StateView) -> bool:
+            return view.clock("x") >= 1
+
+        def boundary_update(view: MutableStateView) -> None:
+            # upd_WT(): one more sample has passed for every queued request.
+            buffer = list(view.var("buffer"))
+            for app in buffer:
+                view.set_var(f"WT[{app}]", view.var(f"WT[{app}]") + 1)
+            # Policy/Sort: admit the requests registered since the previous
+            # sample, resetting their wait counters and inserting them into
+            # the buffer ordered by remaining slack (stable for ties).
+            buffer0 = list(view.var("buffer0"))
+            for app in buffer0:
+                view.set_var(f"WT[{app}]", 0)
+                view.reset_clock(_time_clock(app))
+                slack = profiles[app].max_wait
+                position = 0
+                while position < len(buffer):
+                    queued = buffer[position]
+                    queued_slack = profiles[queued].max_wait - view.var(f"WT[{queued}]")
+                    if queued_slack <= slack:
+                        position += 1
+                    else:
+                        break
+                buffer.insert(position, app)
+            view.set_var("buffer", tuple(buffer))
+            view.set_var("buffer0", ())
+            # Advance the dwell counter of the occupant (one sample of slot use).
+            if view.var("run") == 1:
+                view.set_var("cT", view.var("cT") + 1)
+
+        def occupant_entry(view: StateView) -> Tuple[int, int, int]:
+            app = view.var("app")
+            profile = profiles[app]
+            wait = min(view.var("wait_at_grant"), profile.max_wait)
+            entry = profile.entry(wait)
+            return app, entry.min_dwell, entry.max_dwell
+
+        def release_guard(view: StateView) -> bool:
+            if view.var("run") != 1:
+                return False
+            _, _, max_dwell = occupant_entry(view)
+            return view.var("cT") >= max_dwell
+
+        def preempt_guard(view: StateView) -> bool:
+            if view.var("run") != 1:
+                return False
+            _, min_dwell, max_dwell = occupant_entry(view)
+            dwell = view.var("cT")
+            return min_dwell <= dwell < max_dwell and len(view.var("buffer")) > 0
+
+        def keep_guard(view: StateView) -> bool:
+            if view.var("run") != 1:
+                return False
+            _, min_dwell, max_dwell = occupant_entry(view)
+            dwell = view.var("cT")
+            if dwell >= max_dwell:
+                return False
+            return dwell < min_dwell or len(view.var("buffer")) == 0
+
+        def idle_guard(view: StateView) -> bool:
+            return view.var("run") == 0
+
+        def free_slot_update(view: MutableStateView) -> None:
+            view.set_var("run", 0)
+            view.set_var("app", NO_APP)
+            view.set_var("cT", 0)
+
+        def make_release_edge(app_index: int, kind: str) -> Edge:
+            guard = release_guard if kind == "release" else preempt_guard
+
+            def app_guard(view: StateView, _guard=guard, _app=app_index) -> bool:
+                return view.var("app") == _app and _guard(view)
+
+            return Edge(
+                "Decide",
+                "Grant",
+                guard=app_guard,
+                update=free_slot_update,
+                sync=f"leaveTT[{app_index}]!",
+                label=f"scheduler: {kind} {profiles[app_index].name}",
+            )
+
+        def make_grant_edge(app_index: int) -> Edge:
+            def grant_guard(view: StateView, _app=app_index) -> bool:
+                buffer = view.var("buffer")
+                return view.var("run") == 0 and len(buffer) > 0 and buffer[0] == _app
+
+            def grant_update(view: MutableStateView, _app=app_index) -> None:
+                buffer = list(view.var("buffer"))
+                buffer.pop(0)
+                view.set_var("buffer", tuple(buffer))
+                view.set_var("run", 1)
+                view.set_var("app", _app)
+                view.set_var("wait_at_grant", view.var(f"WT[{_app}]"))
+                view.set_var("cT", 0)
+
+            return Edge(
+                "Grant",
+                "Done",
+                guard=grant_guard,
+                update=grant_update,
+                sync=f"getTT[{app_index}]!",
+                label=f"scheduler: grant {profiles[app_index].name}",
+            )
+
+        def no_grant_guard(view: StateView) -> bool:
+            return view.var("run") == 1 or len(view.var("buffer")) == 0
+
+        def finish_update(view: MutableStateView) -> None:
+            view.reset_clock("x")
+
+        def wait_invariant(view: StateView) -> bool:
+            return view.clock("x") <= 1
+
+        locations = [
+            Location("Wait", invariant=wait_invariant),
+            Location("Decide", committed=True),
+            Location("Grant", committed=True),
+            Location("Done", committed=True),
+        ]
+        edges: List[Edge] = [
+            # Requests can be registered asynchronously between samples; the
+            # emitting application already queued itself in buffer0.
+            Edge("Wait", "Wait", sync="reqTT?", label="scheduler: register request"),
+            Edge(
+                "Wait",
+                "Decide",
+                guard=boundary_guard,
+                update=boundary_update,
+                label="scheduler: sample boundary",
+            ),
+            # Keep the occupant (or nothing to do for the slot).
+            Edge("Decide", "Grant", guard=keep_guard, label="scheduler: keep occupant"),
+            Edge("Decide", "Grant", guard=idle_guard, label="scheduler: slot idle"),
+            Edge("Grant", "Done", guard=no_grant_guard, label="scheduler: no grant"),
+            Edge("Done", "Wait", update=finish_update, label="scheduler: end of sample"),
+        ]
+        for app_index in range(count):
+            edges.append(make_release_edge(app_index, "release"))
+            edges.append(make_release_edge(app_index, "preempt"))
+            edges.append(make_grant_edge(app_index))
+
+        return TimedAutomaton(
+            name="Scheduler",
+            locations=locations,
+            edges=edges,
+            initial="Wait",
+            clocks=("x",),
+        )
+
+    # ----------------------------------------------------------------- network
+    def build(self) -> Network:
+        """Assemble the full network: one automaton per application + scheduler."""
+        automata = [self._application_automaton(i) for i in range(len(self.profiles))]
+        automata.append(self._scheduler_automaton())
+
+        clocks: Dict[str, Optional[int]] = {"x": 2}
+        for index, profile in enumerate(self.profiles):
+            clocks[_time_clock(index)] = profile.min_inter_arrival + 1
+
+        variables: Dict[str, object] = {
+            "buffer": (),
+            "buffer0": (),
+            "run": 0,
+            "app": NO_APP,
+            "cT": 0,
+            "wait_at_grant": 0,
+        }
+        for index in range(len(self.profiles)):
+            variables[f"WT[{index}]"] = 0
+            if self.instance_budget[index] is not None:
+                variables[f"instances[{index}]"] = 0
+
+        return Network(automata=automata, clocks=clocks, variables=variables)
+
+
+def verify_with_model_checker(
+    profiles: Sequence[SwitchingProfile],
+    instance_budget: Optional[Mapping[str, int]] = None,
+    max_states: int = 2_000_000,
+    with_trace: bool = False,
+) -> ReachabilityResult:
+    """Verify slot sharing by model checking the timed-automata network.
+
+    Returns the raw :class:`~repro.ta.model_checker.ReachabilityResult` of the
+    error-reachability query; ``reachable=False`` means every application
+    meets its requirement in all scenarios (the partition is feasible).
+    """
+    builder = SlotSharingModelBuilder(profiles, instance_budget)
+    network = builder.build()
+    checker = ModelChecker(network, max_states=max_states)
+    return checker.error_reachable(with_trace=with_trace)

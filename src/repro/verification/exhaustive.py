@@ -1,0 +1,205 @@
+"""Exhaustive reachability verification of shared-slot configurations.
+
+This is the work-horse verification engine (the UPPAAL substitute used by
+the resource-dimensioning flow).  It explores, by breadth-first search, every
+reachable state of the discrete-time shared-slot transition system
+(:mod:`repro.scheduler.slot_system`) under *all* admissible sporadic
+disturbance patterns: at every sample, any subset of the applications that
+are currently steady (and within their instance budget) may be disturbed.
+
+A configuration is feasible exactly when no reachable state exhibits a
+deadline miss, i.e. no application ever waits longer than its maximum wait
+time ``Tw^*`` — the same query as "no application automaton reaches its
+Error location" in the paper's timed-automata formulation.  Because every
+clock in the system is bounded (waits by ``Tw^*``, dwells by ``Tdw^+``,
+recovery by ``r``) the state space is finite and the search terminates.
+
+The per-application *instance budget* implements the paper's verification
+acceleration (Sec. 5): bounding the number of disturbance instances each
+application can contribute dramatically shrinks the state space.  Budgets
+are computed by :mod:`repro.verification.acceleration` from the window
+lengths and inter-arrival times, as the paper suggests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import VerificationError
+from ..scheduler.slot_system import (
+    SlotSystemConfig,
+    SlotSystemState,
+    advance,
+    initial_state,
+    steady_applications,
+)
+from ..switching.profile import SwitchingProfile
+from .result import CounterexampleStep, VerificationResult
+
+#: Default cap on the number of explored states before giving up.
+DEFAULT_MAX_STATES = 5_000_000
+
+
+class ExhaustiveVerifier:
+    """Breadth-first reachability analysis over the shared-slot state space.
+
+    Args:
+        profiles: switching profiles of the applications mapped to the slot.
+        instance_budget: optional per-application limit on disturbance
+            instances (the paper's acceleration); ``None`` means unbounded.
+        max_states: exploration cap; exceeding it marks the result as
+            truncated instead of running forever.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[SwitchingProfile],
+        instance_budget: Optional[Mapping[str, int]] = None,
+        max_states: int = DEFAULT_MAX_STATES,
+    ) -> None:
+        if not profiles:
+            raise VerificationError("at least one application profile is required")
+        self.config = SlotSystemConfig.from_profiles(profiles, instance_budget)
+        self.max_states = int(max_states)
+        self._instance_budget = instance_budget or {}
+
+    # ----------------------------------------------------------------- search
+    def verify(self, with_counterexample: bool = True) -> VerificationResult:
+        """Run the reachability analysis.
+
+        Args:
+            with_counterexample: when True, predecessor links are kept so
+                that an infeasible verdict comes with a witness disturbance
+                pattern (costs memory on large state spaces).
+
+        Returns:
+            The :class:`VerificationResult`.
+        """
+        start_time = time.perf_counter()
+        config = self.config
+        names = config.names
+        root = initial_state(config)
+
+        visited = {root}
+        queue = deque([root])
+        parents: Dict[SlotSystemState, Tuple[Optional[SlotSystemState], Tuple[int, ...]]] = {}
+        if with_counterexample:
+            parents[root] = (None, ())
+
+        truncated = False
+        error_state: Optional[SlotSystemState] = None
+        error_arrivals: Tuple[int, ...] = ()
+        error_parent: Optional[SlotSystemState] = None
+
+        while queue:
+            state = queue.popleft()
+            eligible = self._eligible(state)
+            for arrivals in self._arrival_choices(eligible):
+                next_state, events = advance(config, state, arrivals)
+                if events.has_error:
+                    error_state = next_state
+                    error_arrivals = arrivals
+                    error_parent = state
+                    queue.clear()
+                    break
+                if next_state in visited:
+                    continue
+                visited.add(next_state)
+                if with_counterexample:
+                    parents[next_state] = (state, arrivals)
+                queue.append(next_state)
+                if len(visited) >= self.max_states:
+                    truncated = True
+                    queue.clear()
+                    break
+            if error_state is not None or truncated:
+                break
+
+        elapsed = time.perf_counter() - start_time
+        feasible = error_state is None
+        counterexample: Tuple[CounterexampleStep, ...] = ()
+        if not feasible and with_counterexample and error_parent is not None:
+            counterexample = self._reconstruct_trace(parents, error_parent, error_arrivals)
+
+        budget_items = tuple(
+            (name, self._instance_budget[name])
+            for name in names
+            if name in self._instance_budget and self._instance_budget[name] is not None
+        )
+        return VerificationResult(
+            feasible=feasible,
+            applications=names,
+            method="exhaustive",
+            explored_states=len(visited),
+            elapsed_seconds=elapsed,
+            counterexample=counterexample,
+            instance_budget=budget_items,
+            truncated=truncated,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _eligible(self, state: SlotSystemState) -> Tuple[int, ...]:
+        """Applications that may be disturbed in this state (steady + budget)."""
+        eligible = []
+        for index in steady_applications(self.config, state):
+            budget = self.config.instance_budget[index]
+            if budget is None or state.instances_used[index] < budget:
+                eligible.append(index)
+        return tuple(eligible)
+
+    @staticmethod
+    def _arrival_choices(eligible: Sequence[int]) -> Iterable[Tuple[int, ...]]:
+        """All subsets of the eligible applications (including the empty set)."""
+        for size in range(len(eligible) + 1):
+            for combination in itertools.combinations(eligible, size):
+                yield combination
+
+    def _reconstruct_trace(
+        self,
+        parents: Mapping[SlotSystemState, Tuple[Optional[SlotSystemState], Tuple[int, ...]]],
+        error_parent: SlotSystemState,
+        error_arrivals: Tuple[int, ...],
+    ) -> Tuple[CounterexampleStep, ...]:
+        """Rebuild the arrival pattern leading to the deadline miss and replay it."""
+        arrival_sequence: List[Tuple[int, ...]] = [error_arrivals]
+        cursor: Optional[SlotSystemState] = error_parent
+        while cursor is not None:
+            parent, arrivals = parents[cursor]
+            if parent is None:
+                break
+            arrival_sequence.append(arrivals)
+            cursor = parent
+        arrival_sequence.reverse()
+
+        names = self.config.names
+        steps: List[CounterexampleStep] = []
+        state = initial_state(self.config)
+        for sample, arrivals in enumerate(arrival_sequence):
+            state, events = advance(self.config, state, arrivals)
+            occupant = None if state.slot_free() else names[state.occupant]
+            steps.append(
+                CounterexampleStep(
+                    sample=sample,
+                    arrivals=tuple(names[index] for index in arrivals),
+                    occupant=occupant,
+                    missed=tuple(names[index] for index in events.deadline_misses),
+                )
+            )
+        return tuple(steps)
+
+
+def verify_slot_sharing(
+    profiles: Sequence[SwitchingProfile],
+    instance_budget: Optional[Mapping[str, int]] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+    with_counterexample: bool = True,
+) -> VerificationResult:
+    """Verify that the given applications can safely share one TT slot.
+
+    Convenience wrapper around :class:`ExhaustiveVerifier`.
+    """
+    verifier = ExhaustiveVerifier(profiles, instance_budget, max_states)
+    return verifier.verify(with_counterexample=with_counterexample)

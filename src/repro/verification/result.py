@@ -1,0 +1,72 @@
+"""Result types for the control-performance verification front-ends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CounterexampleStep:
+    """One step of a counterexample trace.
+
+    Attributes:
+        sample: the sample index of the step.
+        arrivals: application names whose disturbance was sensed at this sample.
+        occupant: application holding the TT slot during this sample (or None).
+        missed: applications that missed their maximum wait time at this sample.
+    """
+
+    sample: int
+    arrivals: Tuple[str, ...]
+    occupant: Optional[str]
+    missed: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of verifying that a set of applications can share one TT slot.
+
+    Attributes:
+        feasible: True when no reachable behaviour misses a deadline (no
+            application automaton can reach its Error location).
+        applications: names of the applications that were verified together.
+        method: identifier of the verification engine used
+            ("exhaustive", "timed-automata", "simulation").
+        explored_states: number of distinct states explored.
+        elapsed_seconds: wall-clock verification time.
+        counterexample: a witness trace leading to a deadline miss, when one
+            exists and the engine produces traces.
+        instance_budget: per-application disturbance-instance budget used by
+            the accelerated model (empty when unbounded).
+        truncated: True when the exploration hit its state budget before
+            finishing; the verdict is then only valid for the explored part.
+    """
+
+    feasible: bool
+    applications: Tuple[str, ...]
+    method: str
+    explored_states: int
+    elapsed_seconds: float
+    counterexample: Tuple[CounterexampleStep, ...] = ()
+    instance_budget: Tuple[Tuple[str, int], ...] = ()
+    truncated: bool = False
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+    def budget_of(self, application: str) -> Optional[int]:
+        """Instance budget used for one application (``None`` when unbounded)."""
+        for name, budget in self.instance_budget:
+            if name == application:
+                return budget
+        return None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        verdict = "FEASIBLE" if self.feasible else "INFEASIBLE"
+        status = " (truncated)" if self.truncated else ""
+        return (
+            f"{verdict}{status}: {{{', '.join(self.applications)}}} on one slot "
+            f"[{self.method}, {self.explored_states} states, {self.elapsed_seconds:.2f}s]"
+        )

@@ -1,0 +1,142 @@
+"""Tests for the case-study definitions and the figure/table pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    acceleration_comparison,
+    figure2_responses,
+    figure3_surface,
+    figure4_dwell_bounds,
+    figure8_slot1,
+    figure9_slot2,
+    mapping_experiment,
+    table1,
+)
+from repro.casestudy import (
+    PAPER_FIG2_SETTLING_SECONDS,
+    PAPER_PROPOSED_PARTITION,
+    PAPER_TABLE1,
+    all_applications,
+    application,
+    computed_profile,
+    paper_profile,
+    paper_row,
+)
+
+
+class TestCaseStudyDefinitions:
+    def test_six_applications(self, case_study_applications):
+        assert sorted(case_study_applications) == ["C1", "C2", "C3", "C4", "C5", "C6"]
+
+    def test_application_lookup(self):
+        assert application("C3").name == "C3"
+        with pytest.raises(KeyError):
+            application("C9")
+
+    def test_paper_row_lookup(self):
+        assert paper_row("C1").max_wait == 11
+        with pytest.raises(KeyError):
+            paper_row("C9")
+
+    def test_gain_shapes(self, case_study_applications):
+        for app in case_study_applications.values():
+            n = app.plant.state_dimension
+            assert app.kt.shape == (1, n)
+            assert app.ke.shape == (1, n + 1)
+
+    def test_requirements_below_inter_arrival(self, case_study_applications):
+        for app in case_study_applications.values():
+            assert app.requirement_samples < app.min_inter_arrival
+            assert app.requirement_seconds() == pytest.approx(app.requirement_samples * 0.02)
+
+    def test_paper_profile_matches_table(self):
+        profile = paper_profile("C4")
+        assert profile.max_wait == PAPER_TABLE1["C4"].max_wait
+        assert tuple(profile.min_dwell_array) == PAPER_TABLE1["C4"].min_dwell
+
+    def test_computed_profile_close_to_paper(self):
+        """Recomputing C1's profile from the plant reproduces Table 1 exactly;
+        the other applications are validated (±1 sample) in the table1 test."""
+        profile = computed_profile(application("C1"))
+        row = PAPER_TABLE1["C1"]
+        assert profile.max_wait == row.max_wait
+        assert tuple(profile.min_dwell_array) == row.min_dwell
+        assert tuple(profile.max_dwell_array) == row.max_dwell
+
+
+class TestFigurePipelines:
+    def test_figure2_settling_times(self):
+        result = figure2_responses()
+        settling = result.settling_times()
+        assert settling["KT"] == pytest.approx(PAPER_FIG2_SETTLING_SECONDS["KT"])
+        assert settling["4KE_s+4KT+nKE_s"] == pytest.approx(
+            PAPER_FIG2_SETTLING_SECONDS["switch_4_4_stable"]
+        )
+        assert settling["4KE_u+4KT+nKE_u"] == pytest.approx(
+            PAPER_FIG2_SETTLING_SECONDS["switch_4_4_unstable"]
+        )
+        assert settling["KE_s"] == pytest.approx(PAPER_FIG2_SETTLING_SECONDS["KE"], abs=0.03)
+        # Switching with the stable pair beats switching with the unstable pair.
+        assert settling["4KE_s+4KT+nKE_s"] < settling["4KE_u+4KT+nKE_u"]
+
+    def test_figure2_curve_shapes(self):
+        result = figure2_responses(horizon=50)
+        for curve in result.curves.values():
+            assert curve.time.shape == curve.output.shape
+            assert curve.output[0] == pytest.approx(1.0)
+
+    def test_figure3_surfaces(self):
+        result = figure3_surface(max_wait=8, max_dwell=8, horizon=120)
+        assert result.stable_surface.shape == (9, 9)
+        # The switching-stable pair is never worse on average (paper Fig. 3).
+        assert result.mean_settling(stable=True) <= result.mean_settling(stable=False) + 1e-9
+        assert result.worst_settling(stable=True) <= result.worst_settling(stable=False) + 1e-9
+
+    def test_figure4_matches_table1_row_c1(self):
+        result = figure4_dwell_bounds()
+        assert result.max_wait == PAPER_TABLE1["C1"].max_wait
+        assert result.min_dwell == PAPER_TABLE1["C1"].min_dwell
+        assert result.max_dwell == PAPER_TABLE1["C1"].max_dwell
+        assert result.best_settling_is_non_decreasing()
+        assert result.settling_at_max[0] == pytest.approx(0.18)
+
+    def test_table1_reproduction(self):
+        result = table1()
+        assert result.all_max_waits_match()
+        assert result.worst_dwell_deviation() <= 1
+        assert len(result.format_rows()) == 6
+        for row in result.rows.values():
+            assert abs(row.computed_tt_settling - row.paper.tt_settling) <= 1
+            assert abs(row.computed_et_settling - row.paper.et_settling) <= 2
+
+    def test_mapping_experiment(self):
+        result = mapping_experiment()
+        assert result.proposed.slot_count == 2
+        assert result.baseline.slot_count == 4
+        assert result.slot_savings == pytest.approx(0.5)
+        assert result.matches_paper_proposed
+        assert result.matches_paper_baseline
+        assert len(result.format_summary()) == 6
+
+    def test_figure8_responses(self):
+        result = figure8_slot1()
+        assert result.all_requirements_met()
+        assert result.tt_samples["C3"] == 5
+        assert set(result.trajectories) == {"C1", "C3", "C4", "C5"}
+        assert result.schedule.schedulable
+
+    def test_figure9_responses(self):
+        result = figure9_slot2()
+        assert result.all_requirements_met()
+        assert result.tt_samples["C2"] == 10
+        assert result.settling_seconds["C2"] == pytest.approx(0.30)
+
+    def test_acceleration_comparison_on_pair(self, case_study_profiles):
+        comparison = acceleration_comparison(names=("C1", "C5"))
+        assert comparison.verdicts_agree()
+        assert comparison.accelerated.feasible
+        assert comparison.state_reduction > 0
+        assert len(comparison.format_summary()) == 4

@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.casestudy import (
+    DISTURBED_STATE,
+    REQUIREMENT_SAMPLES,
+    all_applications,
+    dc_servo_plant,
+    et_gain_stable,
+    et_gain_unstable,
+    paper_profiles,
+    tt_gain,
+)
+from repro.control.simulation import ClosedLoopSimulator
+from repro.switching.dwell import DwellTimeAnalyzer
+from repro.switching.profile import SwitchingProfile
+
+
+@pytest.fixture(scope="session")
+def servo_plant():
+    """The motivational DC-servo plant (Eq. (6))."""
+    return dc_servo_plant()
+
+
+@pytest.fixture(scope="session")
+def servo_simulator(servo_plant):
+    """Closed-loop simulator with the stable controller pair."""
+    return ClosedLoopSimulator(servo_plant, tt_gain=tt_gain(), et_gain=et_gain_stable())
+
+
+@pytest.fixture(scope="session")
+def servo_simulator_unstable(servo_plant):
+    """Closed-loop simulator with the non-switching-stable pair."""
+    return ClosedLoopSimulator(servo_plant, tt_gain=tt_gain(), et_gain=et_gain_unstable())
+
+
+@pytest.fixture(scope="session")
+def servo_disturbed_state():
+    """Disturbed state of the motivational example."""
+    return np.array(DISTURBED_STATE)
+
+
+@pytest.fixture(scope="session")
+def servo_dwell_analysis(servo_plant):
+    """Dwell-time analysis of the motivational example (J* = 18 samples)."""
+    analyzer = DwellTimeAnalyzer(servo_plant, tt_gain(), et_gain_stable(), DISTURBED_STATE)
+    return analyzer.analyze(REQUIREMENT_SAMPLES)
+
+
+@pytest.fixture(scope="session")
+def case_study_profiles():
+    """Table 1 switching profiles of the six case-study applications."""
+    return paper_profiles()
+
+
+@pytest.fixture(scope="session")
+def case_study_applications():
+    """Plant/gain definitions of the six case-study applications."""
+    return all_applications()
+
+
+@pytest.fixture(scope="session")
+def small_profile():
+    """A tiny hand-written profile used by scheduler and verification tests."""
+    return SwitchingProfile.from_arrays(
+        name="A",
+        requirement_samples=10,
+        min_inter_arrival=20,
+        min_dwell=[2, 2, 3, 3],
+        max_dwell=[4, 4, 4, 3],
+        tt_settling_samples=5,
+        et_settling_samples=15,
+    )
+
+
+@pytest.fixture(scope="session")
+def second_small_profile():
+    """A second tiny profile sharing a slot with ``small_profile``."""
+    return SwitchingProfile.from_arrays(
+        name="B",
+        requirement_samples=12,
+        min_inter_arrival=24,
+        min_dwell=[2, 2, 2, 2, 3, 3],
+        max_dwell=[5, 5, 4, 4, 3, 3],
+        tt_settling_samples=6,
+        et_settling_samples=18,
+    )

@@ -1,0 +1,188 @@
+"""Tests for controller design and the delayed-input augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.augmentation import (
+    augment_with_input_delay,
+    closed_loop_matrix_delayed,
+    closed_loop_matrix_direct,
+    join_augmented_state,
+    split_augmented_state,
+)
+from repro.control.design import (
+    deadbeat,
+    design_et_controller,
+    design_tt_controller,
+    gain_from_paper,
+    lqr,
+    place_poles,
+    scaled_pole_set,
+)
+from repro.control.lti import DiscreteLTISystem
+from repro.exceptions import DesignError, DimensionError
+
+
+def plant():
+    return DiscreteLTISystem(
+        phi=[[1.0, 0.1], [0.0, 0.9]],
+        gamma=[[0.0], [0.1]],
+        c=[[1.0, 0.0]],
+        sampling_period=0.02,
+        name="double-lag",
+    )
+
+
+class TestAugmentation:
+    def test_augmented_dimensions(self):
+        augmented = augment_with_input_delay(plant())
+        assert augmented.state_dimension == 3
+        assert augmented.input_dimension == 1
+        assert augmented.output_dimension == 1
+
+    def test_augmented_structure(self):
+        p = plant()
+        augmented = augment_with_input_delay(p)
+        np.testing.assert_allclose(augmented.phi[:2, :2], p.phi)
+        np.testing.assert_allclose(augmented.phi[:2, 2:], p.gamma)
+        np.testing.assert_allclose(augmented.phi[2:, :], 0.0)
+        np.testing.assert_allclose(augmented.gamma[:2, :], 0.0)
+        np.testing.assert_allclose(augmented.gamma[2:, :], np.eye(1))
+
+    def test_augmented_output_ignores_held_input(self):
+        augmented = augment_with_input_delay(plant())
+        output = augmented.output([2.0, 0.0, 99.0])
+        np.testing.assert_allclose(output, [2.0])
+
+    def test_augmented_matches_delayed_recurrence(self):
+        """z[k+1] = Phi_a z[k] + Gamma_a u[k] reproduces x[k+1] = Phi x + Gamma u[k-1]."""
+        p = plant()
+        augmented = augment_with_input_delay(p)
+        x = np.array([0.3, -0.2])
+        u_prev = np.array([0.7])
+        u_now = np.array([-0.1])
+        z = np.concatenate([x, u_prev])
+        z_next = augmented.phi @ z + augmented.gamma @ u_now
+        np.testing.assert_allclose(z_next[:2], p.phi @ x + p.gamma @ u_prev)
+        np.testing.assert_allclose(z_next[2:], u_now)
+
+    def test_split_and_join_roundtrip(self):
+        p = plant()
+        z = join_augmented_state([1.0, 2.0], [3.0], p)
+        x, u = split_augmented_state(z, p)
+        np.testing.assert_allclose(x, [1.0, 2.0])
+        np.testing.assert_allclose(u, [3.0])
+
+    def test_split_rejects_wrong_size(self):
+        with pytest.raises(DimensionError):
+            split_augmented_state([1.0, 2.0], plant())
+
+    def test_closed_loop_matrix_shapes(self):
+        p = plant()
+        k_t = np.array([[1.0, 0.5]])
+        k_e = np.array([[1.0, 0.5, 0.1]])
+        assert closed_loop_matrix_direct(p, k_t).shape == (2, 2)
+        assert closed_loop_matrix_delayed(p, k_e).shape == (3, 3)
+
+    def test_closed_loop_matrix_rejects_bad_gain(self):
+        with pytest.raises(DimensionError):
+            closed_loop_matrix_direct(plant(), np.array([[1.0, 2.0, 3.0]]))
+        with pytest.raises(DimensionError):
+            closed_loop_matrix_delayed(plant(), np.array([[1.0, 2.0]]))
+
+
+class TestPolePlacement:
+    def test_poles_are_placed(self):
+        design = place_poles(plant(), [0.2, 0.3])
+        placed = sorted(np.real(design.closed_loop_poles))
+        np.testing.assert_allclose(placed, [0.2, 0.3], atol=1e-8)
+
+    def test_gain_shape(self):
+        design = place_poles(plant(), [0.2, 0.3])
+        assert design.gain.shape == (1, 2)
+
+    def test_design_is_stable(self):
+        assert place_poles(plant(), [0.5, -0.4]).is_stable()
+
+    def test_wrong_pole_count_rejected(self):
+        with pytest.raises(DimensionError):
+            place_poles(plant(), [0.1])
+
+    def test_uncontrollable_plant_rejected(self):
+        uncontrollable = DiscreteLTISystem(
+            phi=[[0.5, 0.0], [0.0, 0.6]], gamma=[[1.0], [0.0]], c=[[1.0, 0.0]]
+        )
+        with pytest.raises(DesignError):
+            place_poles(uncontrollable, [0.1, 0.2])
+
+
+class TestLQR:
+    def test_lqr_stabilizes(self):
+        design = lqr(plant())
+        assert design.is_stable()
+        assert design.method == "lqr"
+
+    def test_lqr_with_custom_weights(self):
+        design = lqr(plant(), state_weight=np.diag([10.0, 1.0]), input_weight=[[0.1]])
+        assert design.is_stable()
+
+    def test_lqr_rejects_bad_weight_shape(self):
+        with pytest.raises(DimensionError):
+            lqr(plant(), state_weight=np.eye(3))
+
+    def test_heavier_input_weight_gives_smaller_gain(self):
+        cheap = lqr(plant(), input_weight=[[0.01]])
+        expensive = lqr(plant(), input_weight=[[100.0]])
+        assert np.linalg.norm(expensive.gain) < np.linalg.norm(cheap.gain)
+
+
+class TestDeadbeatAndHelpers:
+    def test_deadbeat_poles_near_origin(self):
+        design = deadbeat(plant(), radius=0.05)
+        assert np.max(np.abs(design.closed_loop_poles)) <= 0.06
+
+    def test_deadbeat_invalid_radius(self):
+        with pytest.raises(DesignError):
+            deadbeat(plant(), radius=1.5)
+
+    def test_scaled_pole_set(self):
+        poles = scaled_pole_set(plant(), 0.5)
+        np.testing.assert_allclose(sorted(np.abs(poles)), sorted(np.abs(plant().eigenvalues()) * 0.5))
+
+    def test_scaled_pole_set_invalid_factor(self):
+        with pytest.raises(DesignError):
+            scaled_pole_set(plant(), 1.5)
+
+    def test_gain_from_paper(self):
+        gain = gain_from_paper([1.0, 2.0, 3.0])
+        assert gain.shape == (1, 3)
+
+
+class TestModeControllers:
+    def test_tt_controller_acts_on_plant_state(self):
+        design = design_tt_controller(plant())
+        assert design.gain.shape == (1, 2)
+        assert design.is_stable()
+
+    def test_et_controller_acts_on_augmented_state(self):
+        design = design_et_controller(plant())
+        assert design.gain.shape == (1, 3)
+        assert design.is_stable()
+
+    def test_tt_controller_with_poles(self):
+        design = design_tt_controller(plant(), poles=[0.1, 0.2])
+        np.testing.assert_allclose(sorted(np.real(design.closed_loop_poles)), [0.1, 0.2], atol=1e-8)
+
+    def test_et_controller_with_physical_state_weight(self):
+        design = design_et_controller(plant(), state_weight=np.diag([5.0, 1.0]))
+        assert design.is_stable()
+
+    def test_paper_gains_are_stabilizing(self, case_study_applications):
+        """Every (K_T, K_E) pair printed in Table 1 stabilises its plant."""
+        for application in case_study_applications.values():
+            a_t = closed_loop_matrix_direct(application.plant, application.kt)
+            a_e = closed_loop_matrix_delayed(application.plant, application.ke)
+            assert np.max(np.abs(np.linalg.eigvals(a_t))) < 1.0, application.name
+            assert np.max(np.abs(np.linalg.eigvals(a_e))) < 1.0, application.name

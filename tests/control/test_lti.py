@@ -1,0 +1,170 @@
+"""Tests for the discrete-time LTI plant model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.lti import DiscreteLTISystem, zero_order_hold
+from repro.exceptions import DimensionError, SimulationError
+
+
+def simple_plant():
+    return DiscreteLTISystem(
+        phi=[[0.9, 0.1], [0.0, 0.8]],
+        gamma=[[0.0], [1.0]],
+        c=[[1.0, 0.0]],
+        sampling_period=0.02,
+        name="simple",
+    )
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        plant = simple_plant()
+        assert plant.state_dimension == 2
+        assert plant.input_dimension == 1
+        assert plant.output_dimension == 1
+
+    def test_scalar_plant(self):
+        plant = DiscreteLTISystem(phi=0.5, gamma=1.0, c=1.0)
+        assert plant.state_dimension == 1
+        assert plant.is_stable()
+
+    def test_non_square_phi_rejected(self):
+        with pytest.raises(DimensionError):
+            DiscreteLTISystem(phi=[[1.0, 0.0]], gamma=[[1.0]], c=[[1.0]])
+
+    def test_gamma_row_count_mismatch_rejected(self):
+        with pytest.raises(DimensionError):
+            DiscreteLTISystem(phi=[[1.0, 0.0], [0.0, 1.0]], gamma=[[1.0], [1.0], [1.0]], c=[[1.0, 0.0]])
+
+    def test_output_matrix_mismatch_rejected(self):
+        with pytest.raises(DimensionError):
+            DiscreteLTISystem(phi=[[1.0, 0.0], [0.0, 1.0]], gamma=[[1.0], [1.0]], c=[[1.0]])
+
+    def test_negative_sampling_period_rejected(self):
+        with pytest.raises(DimensionError):
+            DiscreteLTISystem(phi=0.5, gamma=1.0, c=1.0, sampling_period=-1.0)
+
+    def test_non_finite_entries_rejected(self):
+        with pytest.raises(DimensionError):
+            DiscreteLTISystem(phi=[[np.nan]], gamma=[[1.0]], c=[[1.0]])
+
+    def test_with_name_returns_copy(self):
+        plant = simple_plant()
+        renamed = plant.with_name("other")
+        assert renamed.name == "other"
+        assert plant.name == "simple"
+        np.testing.assert_allclose(renamed.phi, plant.phi)
+
+
+class TestAnalysis:
+    def test_stability_of_stable_plant(self):
+        assert simple_plant().is_stable()
+
+    def test_unstable_plant_detected(self):
+        plant = DiscreteLTISystem(phi=1.1, gamma=1.0, c=1.0)
+        assert not plant.is_stable()
+        assert plant.spectral_radius() == pytest.approx(1.1)
+
+    def test_controllability(self):
+        assert simple_plant().is_controllable()
+
+    def test_uncontrollable_pair_detected(self):
+        plant = DiscreteLTISystem(
+            phi=[[0.5, 0.0], [0.0, 0.6]], gamma=[[1.0], [0.0]], c=[[1.0, 0.0]]
+        )
+        assert not plant.is_controllable()
+
+    def test_observability(self):
+        assert simple_plant().is_observable()
+
+    def test_unobservable_pair_detected(self):
+        plant = DiscreteLTISystem(
+            phi=[[0.5, 0.0], [0.0, 0.6]], gamma=[[1.0], [1.0]], c=[[0.0, 1.0]]
+        )
+        assert not plant.is_observable()
+
+    def test_controllability_matrix_shape(self):
+        matrix = simple_plant().controllability_matrix()
+        assert matrix.shape == (2, 2)
+
+    def test_case_study_plants_are_controllable(self, case_study_applications):
+        for application in case_study_applications.values():
+            assert application.plant.is_controllable(), application.name
+
+
+class TestSimulation:
+    def test_step_matches_matrices(self):
+        plant = simple_plant()
+        next_state = plant.step([1.0, 2.0], [0.5])
+        expected = plant.phi @ np.array([1.0, 2.0]) + plant.gamma @ np.array([0.5])
+        np.testing.assert_allclose(next_state, expected)
+
+    def test_free_response_length(self):
+        trajectory = simple_plant().free_response([1.0, 0.0], 10)
+        assert trajectory.shape == (11, 2)
+
+    def test_free_response_decays_for_stable_plant(self):
+        trajectory = simple_plant().free_response([1.0, 1.0], 200)
+        assert np.linalg.norm(trajectory[-1]) < 1e-6
+
+    def test_free_response_negative_steps_rejected(self):
+        with pytest.raises(SimulationError):
+            simple_plant().free_response([1.0, 0.0], -1)
+
+    def test_forced_response_matches_manual_rollout(self):
+        plant = simple_plant()
+        inputs = [np.array([1.0]), np.array([0.0]), np.array([-1.0])]
+        trajectory = plant.forced_response([0.0, 0.0], inputs)
+        state = np.zeros(2)
+        for k, control in enumerate(inputs):
+            state = plant.phi @ state + plant.gamma @ control
+            np.testing.assert_allclose(trajectory[k + 1], state)
+
+    def test_outputs_of_maps_states(self):
+        plant = simple_plant()
+        states = np.array([[1.0, 2.0], [3.0, 4.0]])
+        outputs = plant.outputs_of(states)
+        np.testing.assert_allclose(outputs, [[1.0], [3.0]])
+
+    def test_outputs_of_wrong_width_rejected(self):
+        with pytest.raises(DimensionError):
+            simple_plant().outputs_of(np.zeros((3, 5)))
+
+    def test_time_axis(self):
+        axis = simple_plant().time_axis(3)
+        np.testing.assert_allclose(axis, [0.0, 0.02, 0.04])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        x0=st.lists(st.floats(-5, 5), min_size=2, max_size=2),
+        x1=st.lists(st.floats(-5, 5), min_size=2, max_size=2),
+    )
+    def test_free_response_is_linear(self, x0, x1):
+        """Superposition: response(a+b) == response(a) + response(b)."""
+        plant = simple_plant()
+        a = np.array(x0)
+        b = np.array(x1)
+        combined = plant.free_response(a + b, 15)
+        separate = plant.free_response(a, 15) + plant.free_response(b, 15)
+        np.testing.assert_allclose(combined, separate, atol=1e-9)
+
+
+class TestZeroOrderHold:
+    def test_scalar_integrator(self):
+        plant = zero_order_hold(a_continuous=[[0.0]], b_continuous=[[1.0]], c=[[1.0]], sampling_period=0.1)
+        np.testing.assert_allclose(plant.phi, [[1.0]])
+        np.testing.assert_allclose(plant.gamma, [[0.1]], atol=1e-12)
+
+    def test_first_order_lag(self):
+        plant = zero_order_hold(a_continuous=[[-1.0]], b_continuous=[[1.0]], c=[[1.0]], sampling_period=0.5)
+        assert plant.phi[0, 0] == pytest.approx(np.exp(-0.5))
+        assert plant.gamma[0, 0] == pytest.approx(1.0 - np.exp(-0.5))
+
+    def test_invalid_sampling_period(self):
+        with pytest.raises(DimensionError):
+            zero_order_hold([[0.0]], [[1.0]], [[1.0]], sampling_period=0.0)

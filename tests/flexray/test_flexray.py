@@ -1,0 +1,211 @@
+"""Tests for the simulated FlexRay substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.flexray import (
+    DynamicSegment,
+    FlexRayConfig,
+    Message,
+    ReconfigurableMiddleware,
+    StaticSegment,
+    analyse_message_set,
+    validates_one_sample_delay,
+    worst_case_dynamic_delay,
+)
+
+
+class TestConfig:
+    def test_defaults_fit_cycle(self):
+        config = FlexRayConfig()
+        assert config.segments_length() <= config.cycle_length
+
+    def test_segment_lengths(self):
+        config = FlexRayConfig()
+        assert config.static_segment_length() == pytest.approx(8.0)
+        assert config.dynamic_segment_length() == pytest.approx(5.0)
+
+    def test_minislot_must_be_smaller_than_static_slot(self):
+        with pytest.raises(ConfigurationError):
+            FlexRayConfig(minislot_length=2.0, static_slot_length=1.0)
+
+    def test_segments_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            FlexRayConfig(static_slot_count=50, static_slot_length=1.0, cycle_length=20.0)
+
+    def test_slot_start(self):
+        config = FlexRayConfig()
+        assert config.static_slot_start(3) == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            config.static_slot_start(99)
+
+    def test_cycles_per_sampling_period(self):
+        assert FlexRayConfig().cycles_per_sampling_period(0.02) == 1
+        short_cycle = FlexRayConfig(cycle_length=10.0, static_slot_count=4, minislot_count=80)
+        assert short_cycle.cycles_per_sampling_period(0.02) == 2
+
+    def test_message_validation(self):
+        with pytest.raises(ConfigurationError):
+            Message("m", payload_bits=0)
+        with pytest.raises(ConfigurationError):
+            Message("m", frame_id=0)
+
+
+class TestStaticSegment:
+    def test_assign_and_lookup(self):
+        segment = StaticSegment(FlexRayConfig())
+        segment.assign(2, Message("C1", frame_id=1))
+        assert segment.slot_of("C1") == 2
+        assert 2 in segment.occupied_slots()
+        assert 2 not in segment.free_slots()
+        assert segment.utilization() == pytest.approx(1 / 8)
+
+    def test_double_assignment_rejected(self):
+        segment = StaticSegment(FlexRayConfig())
+        segment.assign(0, Message("C1", frame_id=1))
+        with pytest.raises(ConfigurationError):
+            segment.assign(0, Message("C2", frame_id=2))
+        with pytest.raises(ConfigurationError):
+            segment.assign(1, Message("C1", frame_id=1))
+
+    def test_release(self):
+        segment = StaticSegment(FlexRayConfig())
+        segment.assign(0, Message("C1", frame_id=1))
+        released = segment.release(0)
+        assert released.name == "C1"
+        assert segment.slot_of("C1") is None
+
+    def test_transmission_window(self):
+        segment = StaticSegment(FlexRayConfig())
+        segment.assign(1, Message("C1", frame_id=1))
+        start, end = segment.transmission_window("C1")
+        assert start == pytest.approx(1.0)
+        assert end == pytest.approx(2.0)
+        assert segment.transmission_window("unknown") is None
+
+
+class TestDynamicSegment:
+    def test_arbitration_by_frame_id(self):
+        segment = DynamicSegment(FlexRayConfig(minislot_count=10))
+        segment.register(Message("hi", frame_id=1, minislots_needed=4))
+        segment.register(Message("lo", frame_id=5, minislots_needed=4))
+        sent, deferred = segment.arbitrate(["lo", "hi"])
+        assert sent == ["hi", "lo"]
+        assert deferred == []
+
+    def test_deferral_when_full(self):
+        segment = DynamicSegment(FlexRayConfig(minislot_count=6))
+        segment.register(Message("a", frame_id=1, minislots_needed=4))
+        segment.register(Message("b", frame_id=2, minislots_needed=4))
+        sent, deferred = segment.arbitrate(["a", "b"])
+        assert sent == ["a"]
+        assert deferred == ["b"]
+
+    def test_duplicate_frame_id_rejected(self):
+        segment = DynamicSegment(FlexRayConfig())
+        segment.register(Message("a", frame_id=1))
+        with pytest.raises(ConfigurationError):
+            segment.register(Message("b", frame_id=1))
+
+    def test_unregistered_pending_rejected(self):
+        segment = DynamicSegment(FlexRayConfig())
+        with pytest.raises(ConfigurationError):
+            segment.arbitrate(["ghost"])
+
+
+class TestTimingAnalysis:
+    def make_messages(self):
+        return [
+            Message("C1", frame_id=1, minislots_needed=10),
+            Message("C2", frame_id=2, minislots_needed=10),
+            Message("C3", frame_id=3, minislots_needed=10),
+        ]
+
+    def test_highest_priority_has_smallest_delay(self):
+        config = FlexRayConfig()
+        results = analyse_message_set(config, self.make_messages())
+        assert results["C1"].worst_case_delay_ms < results["C3"].worst_case_delay_ms
+
+    def test_all_fit_one_sampling_period_when_lightly_loaded(self):
+        config = FlexRayConfig()
+        assert validates_one_sample_delay(config, self.make_messages())
+
+    def test_overload_pushes_to_next_cycle(self):
+        config = FlexRayConfig(minislot_count=20)
+        messages = [
+            Message("hp", frame_id=1, minislots_needed=15),
+            Message("lp", frame_id=2, minislots_needed=10),
+        ]
+        result = worst_case_dynamic_delay(config, messages, "lp")
+        assert result.worst_case_cycles >= 2
+
+    def test_message_larger_than_segment_rejected(self):
+        config = FlexRayConfig(minislot_count=5)
+        with pytest.raises(ConfigurationError):
+            worst_case_dynamic_delay(config, [Message("big", frame_id=1, minislots_needed=10)], "big")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            worst_case_dynamic_delay(FlexRayConfig(), [], "nope")
+
+
+class TestMiddleware:
+    def test_registration_and_default_binding(self):
+        middleware = ReconfigurableMiddleware()
+        middleware.register(Message("C1", frame_id=1))
+        assert middleware.binding_of("C1") == "dynamic"
+
+    def test_switch_to_static_and_back(self):
+        middleware = ReconfigurableMiddleware()
+        middleware.register(Message("C1", frame_id=1))
+        middleware.use_static("C1", slot=0)
+        assert middleware.binding_of("C1") == "static"
+        middleware.use_dynamic("C1")
+        assert middleware.binding_of("C1") == "dynamic"
+
+    def test_duplicate_registration_rejected(self):
+        middleware = ReconfigurableMiddleware()
+        middleware.register(Message("C1", frame_id=1))
+        with pytest.raises(ConfigurationError):
+            middleware.register(Message("C1", frame_id=9))
+
+    def test_cycle_records_transmissions(self):
+        middleware = ReconfigurableMiddleware()
+        middleware.register(Message("C1", frame_id=1))
+        middleware.register(Message("C2", frame_id=2))
+        middleware.use_static("C1", slot=0)
+        record = middleware.run_cycle()
+        assert record.static_transmissions == {0: "C1"}
+        assert record.dynamic_transmissions == ("C2",)
+
+    def test_mode_schedule_counts_static_usage(self):
+        middleware = ReconfigurableMiddleware()
+        middleware.register(Message("C1", frame_id=1))
+        modes = ["ET", "ET", "TT", "TT", "TT", "ET"]
+        records = middleware.run_mode_schedule("C1", modes, slot=1)
+        assert len(records) == len(modes)
+        assert middleware.static_usage_count("C1") == 3
+
+    def test_switching_sequence_matches_slot_simulator(self, case_study_profiles):
+        """The TT samples granted by the slot scheduler translate one-to-one
+        into static-slot transmissions on the bus."""
+        from repro.control.disturbance import DisturbanceTrace
+        from repro.scheduler.simulator import SlotScheduleSimulator
+
+        simulator = SlotScheduleSimulator([case_study_profiles["C6"], case_study_profiles["C2"]])
+        schedule = simulator.run(DisturbanceTrace.from_arrivals([("C2", 0), ("C6", 10)]), 40)
+        middleware = ReconfigurableMiddleware()
+        middleware.register(Message("C2", frame_id=2))
+        middleware.run_mode_schedule("C2", schedule.mode_sequence("C2"), slot=0)
+        assert middleware.static_usage_count("C2") == schedule.tt_samples_used("C2")
+
+    def test_unknown_message_operations_rejected(self):
+        middleware = ReconfigurableMiddleware()
+        with pytest.raises(ConfigurationError):
+            middleware.use_static("ghost", 0)
+        with pytest.raises(ConfigurationError):
+            middleware.binding_of("ghost")
+        with pytest.raises(ConfigurationError):
+            middleware.run_cycle(["ghost"])

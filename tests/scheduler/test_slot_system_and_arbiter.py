@@ -1,0 +1,233 @@
+"""Tests for the shared-slot transition system and the EDF-like arbiter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SchedulingError
+from repro.scheduler.arbiter import EarliestDeadlineArbiter, SlotRequest
+from repro.scheduler.slot_system import (
+    DONE,
+    HOLDING,
+    NO_OCCUPANT,
+    SAFE,
+    STEADY,
+    WAITING,
+    SlotSystemConfig,
+    advance,
+    initial_state,
+    quiescent,
+    steady_applications,
+)
+from repro.switching.profile import SwitchingProfile
+
+
+@pytest.fixture()
+def config(small_profile, second_small_profile):
+    return SlotSystemConfig.from_profiles([small_profile, second_small_profile])
+
+
+class TestArbiter:
+    def test_rank_by_slack(self, small_profile, second_small_profile):
+        arbiter = EarliestDeadlineArbiter({"A": small_profile, "B": second_small_profile})
+        requests = [
+            SlotRequest("A", wait_elapsed=0, max_wait=3, arrival_order=0),
+            SlotRequest("B", wait_elapsed=4, max_wait=5, arrival_order=1),
+        ]
+        ranked = arbiter.rank(requests)
+        assert ranked[0].application == "B"  # slack 1 < slack 3
+
+    def test_tie_broken_by_arrival_order(self, small_profile, second_small_profile):
+        arbiter = EarliestDeadlineArbiter({"A": small_profile, "B": second_small_profile})
+        requests = [
+            SlotRequest("B", wait_elapsed=2, max_wait=5, arrival_order=1),
+            SlotRequest("A", wait_elapsed=0, max_wait=3, arrival_order=0),
+        ]
+        ranked = arbiter.rank(requests)
+        assert ranked[0].application == "A"
+
+    def test_select_empty(self, small_profile):
+        arbiter = EarliestDeadlineArbiter({"A": small_profile})
+        assert arbiter.select([]) is None
+
+    def test_unknown_application_rejected(self, small_profile):
+        arbiter = EarliestDeadlineArbiter({"A": small_profile})
+        with pytest.raises(SchedulingError):
+            arbiter.rank([SlotRequest("Z", 0, 5)])
+
+    def test_preemption_rules(self, small_profile, second_small_profile):
+        arbiter = EarliestDeadlineArbiter({"A": small_profile, "B": second_small_profile})
+        waiting = [SlotRequest("B", 0, 5)]
+        assert not arbiter.should_preempt("A", occupant_dwell=1, occupant_wait_at_grant=0, waiting=waiting)
+        assert arbiter.should_preempt("A", occupant_dwell=2, occupant_wait_at_grant=0, waiting=waiting)
+        assert not arbiter.should_preempt("A", occupant_dwell=5, occupant_wait_at_grant=0, waiting=[])
+
+    def test_release_rule(self, small_profile):
+        arbiter = EarliestDeadlineArbiter({"A": small_profile})
+        assert not arbiter.should_release("A", occupant_dwell=3, occupant_wait_at_grant=0)
+        assert arbiter.should_release("A", occupant_dwell=4, occupant_wait_at_grant=0)
+
+    def test_dwell_bounds_clamped(self, small_profile):
+        arbiter = EarliestDeadlineArbiter({"A": small_profile})
+        assert arbiter.dwell_bounds("A", 99) == (small_profile.min_dwell(3), small_profile.max_dwell(3))
+
+    def test_deadline_missed(self, small_profile):
+        arbiter = EarliestDeadlineArbiter({"A": small_profile})
+        assert arbiter.deadline_missed("A", 4)
+        assert not arbiter.deadline_missed("A", 3)
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(SchedulingError):
+            EarliestDeadlineArbiter({})
+
+
+class TestSlotSystemConfig:
+    def test_ordering_by_name(self, small_profile, second_small_profile):
+        config = SlotSystemConfig.from_profiles([second_small_profile, small_profile])
+        assert config.names == ("A", "B")
+        assert config.index_of("B") == 1
+
+    def test_duplicate_names_rejected(self, small_profile):
+        with pytest.raises(SchedulingError):
+            SlotSystemConfig(profiles=(small_profile, small_profile))
+
+    def test_budget_length_validation(self, small_profile):
+        with pytest.raises(SchedulingError):
+            SlotSystemConfig(profiles=(small_profile,), instance_budget=(1, 2))
+
+    def test_budget_mapping(self, small_profile, second_small_profile):
+        config = SlotSystemConfig.from_profiles(
+            [small_profile, second_small_profile], instance_budget={"A": 2}
+        )
+        assert config.instance_budget == (2, None)
+
+    def test_unknown_index_rejected(self, config):
+        with pytest.raises(SchedulingError):
+            config.index_of("Z")
+
+
+class TestAdvance:
+    def test_initial_state(self, config):
+        state = initial_state(config)
+        assert state.slot_free()
+        assert all(phase == (STEADY,) for phase in state.phases)
+        assert quiescent(state)
+        assert steady_applications(config, state) == (0, 1)
+
+    def test_single_disturbance_granted_immediately(self, config):
+        state, events = advance(config, initial_state(config), arrivals=[0])
+        assert events.granted == 0
+        assert state.occupant == 0
+        assert state.phases[0][0] == HOLDING
+        assert not events.has_error
+
+    def test_release_after_max_dwell(self, config, small_profile):
+        state = initial_state(config)
+        state, _ = advance(config, state, arrivals=[0])
+        released_at = None
+        for step in range(1, 10):
+            state, events = advance(config, state)
+            if events.released == 0:
+                released_at = step
+                break
+        assert released_at == small_profile.max_dwell(0)
+        assert state.phases[0][0] == SAFE
+
+    def test_preemption_after_min_dwell(self, config, small_profile):
+        state = initial_state(config)
+        state, _ = advance(config, state, arrivals=[0])
+        state, _ = advance(config, state)  # dwell 1
+        state, events = advance(config, state, arrivals=[1])  # dwell 2 = min dwell, B waiting
+        assert events.preempted == 0
+        assert events.granted == 1
+        assert state.occupant == 1
+
+    def test_no_preemption_before_min_dwell(self, config):
+        state = initial_state(config)
+        state, _ = advance(config, state, arrivals=[0])
+        state, events = advance(config, state, arrivals=[1])  # dwell 1 < min dwell 2
+        assert events.preempted is None
+        assert state.occupant == 0
+        assert state.phases[1][0] == WAITING
+
+    def test_simultaneous_arrivals_served_by_slack(self, config):
+        state, events = advance(config, initial_state(config), arrivals=[0, 1])
+        # A has max_wait 3 < B's 5, so A has the smaller slack and wins.
+        assert events.granted == 0
+        assert state.buffer == (1,)
+
+    def test_arrival_while_not_steady_rejected(self, config):
+        state, _ = advance(config, initial_state(config), arrivals=[0])
+        with pytest.raises(SchedulingError):
+            advance(config, state, arrivals=[0])
+
+    def test_out_of_range_arrival_rejected(self, config):
+        with pytest.raises(SchedulingError):
+            advance(config, initial_state(config), arrivals=[7])
+
+    def test_recovery_after_inter_arrival(self, config, small_profile):
+        state = initial_state(config)
+        state, _ = advance(config, state, arrivals=[0])
+        for _ in range(small_profile.min_inter_arrival + small_profile.max_dwell(0)):
+            state, _ = advance(config, state)
+        assert state.phases[0] == (STEADY,)
+
+    def test_instance_budget_enforced(self, small_profile, second_small_profile):
+        config = SlotSystemConfig.from_profiles(
+            [small_profile, second_small_profile], instance_budget={"A": 1, "B": 1}
+        )
+        state = initial_state(config)
+        state, _ = advance(config, state, arrivals=[0])
+        # Run past the dwell; with the budget exhausted A collapses to Done.
+        for _ in range(6):
+            state, _ = advance(config, state)
+        assert state.phases[0] == (DONE,)
+        with pytest.raises(SchedulingError):
+            advance(config, state, arrivals=[0])
+
+    def test_deadline_miss_reported(self, small_profile, second_small_profile):
+        # Three applications contending for one slot with tight waits miss deadlines.
+        third = SwitchingProfile.from_arrays(
+            name="C", requirement_samples=8, min_inter_arrival=30,
+            min_dwell=[4, 4], max_dwell=[6, 6],
+        )
+        config = SlotSystemConfig.from_profiles([small_profile, second_small_profile, third])
+        state = initial_state(config)
+        state, events = advance(config, state, arrivals=[0, 1, 2])
+        missed = []
+        for _ in range(12):
+            state, events = advance(config, state)
+            missed.extend(events.deadline_misses)
+            if missed:
+                break
+        assert missed, "three tight applications on one slot must miss a deadline"
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrival_pattern=st.lists(st.booleans(), min_size=1, max_size=25))
+    def test_invariant_single_occupant_and_consistent_buffer(
+        self, small_profile, second_small_profile, arrival_pattern
+    ):
+        """At any time at most one application holds the slot, the occupant is
+        never in the buffer and every buffered application is waiting."""
+        config = SlotSystemConfig.from_profiles([small_profile, second_small_profile])
+        state = initial_state(config)
+        toggle = True
+        for disturb in arrival_pattern:
+            arrivals = []
+            if disturb:
+                candidates = steady_applications(config, state)
+                if candidates:
+                    arrivals = [candidates[0] if toggle else candidates[-1]]
+                    toggle = not toggle
+            state, _ = advance(config, state, arrivals)
+            holding = [i for i, phase in enumerate(state.phases) if phase[0] == HOLDING]
+            assert len(holding) <= 1
+            if state.occupant != NO_OCCUPANT:
+                assert state.occupant in holding
+                assert state.occupant not in state.buffer
+            else:
+                assert not holding
+            for index in state.buffer:
+                assert state.phases[index][0] == WAITING

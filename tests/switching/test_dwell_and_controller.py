@@ -1,0 +1,217 @@
+"""Tests for the dwell-time analysis and the runtime switching controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.casestudy import (
+    DISTURBED_STATE,
+    REQUIREMENT_SAMPLES,
+    PAPER_TABLE1,
+    dc_servo_plant,
+    et_gain_stable,
+    tt_gain,
+)
+from repro.exceptions import ProfileError, SchedulingError, SimulationError
+from repro.switching.controller import ApplicationState, SwitchingController
+from repro.switching.dwell import DwellAnalysisConfig, DwellTimeAnalyzer
+from repro.switching.modes import SwitchingPattern
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return DwellTimeAnalyzer(dc_servo_plant(), tt_gain(), et_gain_stable(), DISTURBED_STATE)
+
+
+class TestDwellAnalysisConfig:
+    def test_defaults(self):
+        config = DwellAnalysisConfig()
+        assert config.settling_threshold == pytest.approx(0.02)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(SimulationError):
+            DwellAnalysisConfig(settling_threshold=0.0)
+
+    def test_invalid_granularity(self):
+        with pytest.raises(SimulationError):
+            DwellAnalysisConfig(wait_granularity=0)
+
+
+class TestDwellAnalyzer:
+    def test_reference_settlings_match_paper(self, analyzer):
+        assert analyzer.tt_only_settling() == 9
+        assert analyzer.et_only_settling() == 35
+
+    def test_settling_samples_cached(self, analyzer):
+        first = analyzer.settling_samples(2, 4, 150)
+        second = analyzer.settling_samples(2, 4, 150)
+        assert first == second
+
+    def test_settling_seconds(self, analyzer):
+        seconds = analyzer.settling_seconds(0, 6)
+        assert seconds == pytest.approx(0.18)
+
+    def test_analysis_reproduces_paper_row_c1(self, servo_dwell_analysis):
+        row = PAPER_TABLE1["C1"]
+        assert servo_dwell_analysis.max_wait == row.max_wait
+        assert servo_dwell_analysis.min_dwell_array == list(row.min_dwell)
+        assert servo_dwell_analysis.max_dwell_array == list(row.max_dwell)
+        assert servo_dwell_analysis.tt_settling_samples == row.tt_settling
+        assert servo_dwell_analysis.et_settling_samples == row.et_settling
+
+    def test_min_dwell_never_exceeds_max_dwell(self, servo_dwell_analysis):
+        for entry in servo_dwell_analysis.entries:
+            assert entry.min_dwell <= entry.max_dwell
+
+    def test_best_settling_non_decreasing_with_wait(self, servo_dwell_analysis):
+        best = [entry.settling_at_max_dwell for entry in servo_dwell_analysis.entries]
+        assert all(b >= a for a, b in zip(best, best[1:]))
+
+    def test_settling_at_min_dwell_meets_requirement(self, servo_dwell_analysis):
+        for entry in servo_dwell_analysis.entries:
+            assert entry.settling_at_min_dwell <= servo_dwell_analysis.requirement_samples
+
+    def test_worst_min_dwell(self, servo_dwell_analysis):
+        assert servo_dwell_analysis.worst_min_dwell == max(servo_dwell_analysis.min_dwell_array)
+
+    def test_to_profile(self, servo_dwell_analysis):
+        profile = servo_dwell_analysis.to_profile("C1", min_inter_arrival=25)
+        assert profile.max_wait == servo_dwell_analysis.max_wait
+        assert profile.tt_settling_samples == 9
+
+    def test_infeasible_requirement_rejected(self, analyzer):
+        with pytest.raises(ProfileError):
+            analyzer.analyze(2)
+
+    def test_non_positive_requirement_rejected(self, analyzer):
+        with pytest.raises(ProfileError):
+            analyzer.analyze(0)
+
+    def test_settling_surface_shape_and_monotonicity(self, analyzer):
+        surface = analyzer.settling_surface(range(0, 4), range(0, 7), horizon=140)
+        assert surface.shape == (4, 7)
+        # With zero dwell the settling time equals the ET-only settling time.
+        assert surface[0, 0] == pytest.approx(35 * 0.02)
+        # A full dwell at zero wait reaches the dedicated-slot settling time.
+        assert np.nanmin(surface[0, :]) == pytest.approx(0.18)
+
+    def test_simulate_pattern_consistent_with_settling(self, analyzer):
+        pattern = SwitchingPattern(wait=2, dwell=5)
+        trajectory = analyzer.simulate_pattern(pattern, 150)
+        assert trajectory.settling().samples == analyzer.settling_samples(2, 5, 150)
+
+    def test_wait_granularity_reduces_entries(self):
+        config = DwellAnalysisConfig(wait_granularity=2)
+        coarse = DwellTimeAnalyzer(
+            dc_servo_plant(), tt_gain(), et_gain_stable(), DISTURBED_STATE, config
+        ).analyze(REQUIREMENT_SAMPLES)
+        assert all(entry.wait % 2 == 0 for entry in coarse.entries)
+
+
+class TestSwitchingController:
+    def make_controller(self, small_profile):
+        return SwitchingController(small_profile)
+
+    def test_initial_state(self, small_profile):
+        controller = self.make_controller(small_profile)
+        assert controller.state is ApplicationState.STEADY
+        assert not controller.wants_slot()
+        assert controller.current_mode().value == "ET"
+
+    def test_disturb_and_grant_flow(self, small_profile):
+        controller = self.make_controller(small_profile)
+        controller.disturb()
+        assert controller.wants_slot()
+        assert controller.deadline() == small_profile.max_wait
+        controller.tick()
+        controller.grant()
+        assert controller.holds_slot()
+        assert controller.current_mode().value == "TT"
+        # Minimum dwell for wait 1 is 2: not preemptable before two ticks.
+        assert not controller.is_preemptable()
+        controller.tick()
+        controller.tick()
+        assert controller.is_preemptable()
+
+    def test_release_after_max_dwell(self, small_profile):
+        controller = self.make_controller(small_profile)
+        controller.disturb()
+        controller.grant()
+        for _ in range(small_profile.max_dwell(0)):
+            controller.tick()
+        assert controller.wants_release()
+        controller.release()
+        assert controller.state is ApplicationState.ET_SAFE
+
+    def test_premature_preemption_rejected(self, small_profile):
+        controller = self.make_controller(small_profile)
+        controller.disturb()
+        controller.grant()
+        with pytest.raises(SchedulingError):
+            controller.preempt()
+
+    def test_preempt_after_min_dwell(self, small_profile):
+        controller = self.make_controller(small_profile)
+        controller.disturb()
+        controller.grant()
+        for _ in range(small_profile.min_dwell(0)):
+            controller.tick()
+        controller.preempt()
+        assert controller.state is ApplicationState.ET_SAFE
+
+    def test_deadline_miss_detection(self, small_profile):
+        controller = self.make_controller(small_profile)
+        controller.disturb()
+        for _ in range(small_profile.max_wait + 2):
+            controller.tick()
+        assert controller.missed_deadline
+
+    def test_double_disturbance_rejected(self, small_profile):
+        controller = self.make_controller(small_profile)
+        controller.disturb()
+        with pytest.raises(SchedulingError):
+            controller.disturb()
+
+    def test_recovery_after_inter_arrival_time(self, small_profile):
+        controller = self.make_controller(small_profile)
+        controller.disturb()
+        controller.grant()
+        for _ in range(small_profile.max_dwell(0)):
+            controller.tick()
+        controller.release()
+        for _ in range(small_profile.min_inter_arrival + 1):
+            controller.tick()
+        assert controller.state is ApplicationState.STEADY
+        controller.disturb()  # a new disturbance is legal again
+
+    def test_grant_without_request_rejected(self, small_profile):
+        controller = self.make_controller(small_profile)
+        with pytest.raises(SchedulingError):
+            controller.grant()
+
+    def test_history_records_states(self, small_profile):
+        controller = self.make_controller(small_profile)
+        controller.disturb()
+        controller.tick()
+        controller.tick()
+        history = controller.history
+        assert len(history) == 2
+        assert history[0].state is ApplicationState.ET_WAIT
+
+    @settings(max_examples=30, deadline=None)
+    @given(wait=st.integers(0, 3))
+    def test_dwell_lookup_matches_profile(self, small_profile, wait):
+        controller = SwitchingController(small_profile)
+        controller.disturb()
+        for _ in range(wait):
+            controller.tick()
+        controller.grant()
+        for _ in range(small_profile.min_dwell(wait)):
+            controller.tick()
+        assert controller.is_preemptable()
+        assert controller.wants_release() == (
+            small_profile.min_dwell(wait) >= small_profile.max_dwell(wait)
+        )

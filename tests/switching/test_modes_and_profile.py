@@ -1,0 +1,158 @@
+"""Tests for mode schedules and switching profiles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProfileError, SimulationError
+from repro.switching.modes import (
+    Mode,
+    SwitchingPattern,
+    mode_sequence_from_grants,
+    summarize_mode_sequence,
+    tt_sample_count,
+)
+from repro.switching.profile import DwellTableEntry, SwitchingProfile
+
+
+class TestSwitchingPattern:
+    def test_expansion(self):
+        pattern = SwitchingPattern(wait=2, dwell=3)
+        modes = pattern.to_mode_sequence(8)
+        assert modes == ["ET", "ET", "TT", "TT", "TT", "ET", "ET", "ET"]
+        assert pattern.total_tt_samples == 3
+
+    def test_zero_wait_and_dwell(self):
+        assert SwitchingPattern(0, 0).to_mode_sequence(3) == ["ET", "ET", "ET"]
+
+    def test_too_short_horizon_rejected(self):
+        with pytest.raises(SimulationError):
+            SwitchingPattern(wait=2, dwell=3).to_mode_sequence(4)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(SimulationError):
+            SwitchingPattern(wait=-1, dwell=0)
+        with pytest.raises(SimulationError):
+            SwitchingPattern(wait=0, dwell=-2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(wait=st.integers(0, 20), dwell=st.integers(0, 20), extra=st.integers(0, 30))
+    def test_tt_count_equals_dwell(self, wait, dwell, extra):
+        modes = SwitchingPattern(wait, dwell).to_mode_sequence(wait + dwell + extra)
+        assert tt_sample_count(modes) == dwell
+
+
+class TestModeHelpers:
+    def test_mode_sequence_from_grants(self):
+        modes = mode_sequence_from_grants([1, 2, 5], 7)
+        assert modes == ["ET", "TT", "TT", "ET", "ET", "TT", "ET"]
+
+    def test_grants_outside_horizon_rejected(self):
+        with pytest.raises(SimulationError):
+            mode_sequence_from_grants([10], 5)
+
+    def test_summary_run_length_encoding(self):
+        summary = summarize_mode_sequence(["ET", "ET", "TT", "ET"])
+        assert summary == [("ET", 2), ("TT", 1), ("ET", 1)]
+
+    def test_mode_enum_str(self):
+        assert str(Mode.TT) == "TT"
+        assert Mode.ET.value == "ET"
+
+
+class TestDwellTableEntry:
+    def test_valid_entry(self):
+        entry = DwellTableEntry(wait=0, min_dwell=2, max_dwell=5)
+        assert entry.min_dwell == 2
+
+    def test_zero_min_dwell_rejected(self):
+        with pytest.raises(ProfileError):
+            DwellTableEntry(wait=0, min_dwell=0, max_dwell=3)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ProfileError):
+            DwellTableEntry(wait=0, min_dwell=4, max_dwell=3)
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ProfileError):
+            DwellTableEntry(wait=-1, min_dwell=1, max_dwell=1)
+
+
+class TestSwitchingProfile:
+    def test_from_arrays(self, small_profile):
+        assert small_profile.max_wait == 3
+        assert small_profile.min_dwell(2) == 3
+        assert small_profile.max_dwell(0) == 4
+        assert small_profile.worst_min_dwell == 3
+        assert small_profile.worst_max_dwell == 4
+
+    def test_deadline(self, small_profile):
+        assert small_profile.deadline(0) == 3
+        assert small_profile.deadline(3) == 0
+
+    def test_entry_out_of_range(self, small_profile):
+        with pytest.raises(ProfileError):
+            small_profile.entry(4)
+        with pytest.raises(ProfileError):
+            small_profile.entry(-1)
+
+    def test_requirement_seconds(self, small_profile):
+        assert small_profile.requirement_seconds() == pytest.approx(0.2)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ProfileError):
+            SwitchingProfile.from_arrays("X", 10, 20, [1, 2], [2])
+
+    def test_empty_arrays_rejected(self):
+        with pytest.raises(ProfileError):
+            SwitchingProfile.from_arrays("X", 10, 20, [], [])
+
+    def test_requirement_must_be_below_inter_arrival(self):
+        with pytest.raises(ProfileError):
+            SwitchingProfile.from_arrays("X", requirement_samples=20, min_inter_arrival=20,
+                                         min_dwell=[1], max_dwell=[2])
+
+    def test_wait_times_must_be_contiguous(self):
+        entries = (
+            DwellTableEntry(wait=0, min_dwell=1, max_dwell=2),
+            DwellTableEntry(wait=2, min_dwell=1, max_dwell=2),
+        )
+        with pytest.raises(ProfileError):
+            SwitchingProfile("X", 10, 2, entries, 20)
+
+    def test_max_wait_must_match_table(self):
+        entries = (DwellTableEntry(wait=0, min_dwell=1, max_dwell=2),)
+        with pytest.raises(ProfileError):
+            SwitchingProfile("X", 10, 3, entries, 20)
+
+    def test_json_roundtrip(self, small_profile):
+        rebuilt = SwitchingProfile.from_json(small_profile.to_json())
+        assert rebuilt == small_profile
+
+    def test_dict_roundtrip_preserves_dwell_arrays(self, second_small_profile):
+        rebuilt = SwitchingProfile.from_dict(second_small_profile.to_dict())
+        assert rebuilt.min_dwell_array == second_small_profile.min_dwell_array
+        assert rebuilt.max_dwell_array == second_small_profile.max_dwell_array
+
+    def test_run_length_encoding(self, case_study_profiles):
+        """Paper remark: the dwell arrays take only a few distinct values, so
+        the run-length encoding is never larger than the plain arrays."""
+        for profile in case_study_profiles.values():
+            encoded = profile.run_length_encoded()
+            decoded = []
+            for value, count in encoded["min_dwell"]:
+                decoded.extend([value] * count)
+            assert decoded == profile.min_dwell_array
+            assert profile.memory_footprint_entries() <= 2 * 2 * (profile.max_wait + 1)
+
+    def test_paper_profiles_match_table1(self, case_study_profiles):
+        from repro.casestudy import PAPER_TABLE1
+
+        for name, profile in case_study_profiles.items():
+            row = PAPER_TABLE1[name]
+            assert profile.max_wait == row.max_wait
+            assert tuple(profile.min_dwell_array) == row.min_dwell
+            assert tuple(profile.max_dwell_array) == row.max_dwell
+            assert profile.tt_settling_samples == row.tt_settling

@@ -1,0 +1,98 @@
+"""Tests for the paper's timed-automata models (Figs. 5-7) and their agreement
+with the exhaustive verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.switching.profile import SwitchingProfile
+from repro.ta import ModelChecker
+from repro.verification.automata import SlotSharingModelBuilder, verify_with_model_checker
+from repro.verification.exhaustive import verify_slot_sharing
+
+
+class TestModelStructure:
+    def test_network_composition(self, small_profile, second_small_profile):
+        builder = SlotSharingModelBuilder([small_profile, second_small_profile])
+        network = builder.build()
+        names = [automaton.name for automaton in network.automata]
+        assert names == ["A", "B", "Scheduler"]
+
+    def test_application_automaton_locations(self, small_profile):
+        builder = SlotSharingModelBuilder([small_profile])
+        network = builder.build()
+        application = network.automata[0]
+        assert set(application.locations) == {"Steady", "ET_Wait", "TT", "ET_SAFE", "Error"}
+        assert application.error_locations() == ("Error",)
+        assert application.initial == "Steady"
+
+    def test_scheduler_automaton_locations(self, small_profile):
+        builder = SlotSharingModelBuilder([small_profile])
+        network = builder.build()
+        scheduler = network.automata[-1]
+        assert set(scheduler.locations) == {"Wait", "Decide", "Grant", "Done"}
+        assert scheduler.location("Decide").committed
+
+    def test_clock_declarations(self, small_profile, second_small_profile):
+        network = SlotSharingModelBuilder([small_profile, second_small_profile]).build()
+        assert "x" in network.clock_names
+        assert "time[0]" in network.clock_names and "time[1]" in network.clock_names
+
+    def test_empty_profiles_rejected(self):
+        from repro.exceptions import VerificationError
+
+        with pytest.raises(VerificationError):
+            SlotSharingModelBuilder([])
+
+
+class TestModelCheckingVerdicts:
+    def test_single_application_never_errors(self, small_profile):
+        result = verify_with_model_checker([small_profile], instance_budget={"A": 1})
+        assert not result.reachable
+
+    def test_two_compatible_applications(self, small_profile, second_small_profile):
+        result = verify_with_model_checker(
+            [small_profile, second_small_profile], instance_budget={"A": 1, "B": 1}
+        )
+        assert not result.reachable
+
+    def test_incompatible_applications_reach_error(self, small_profile, second_small_profile):
+        tight = SwitchingProfile.from_arrays(
+            name="C", requirement_samples=8, min_inter_arrival=30,
+            min_dwell=[4, 4], max_dwell=[6, 6],
+        )
+        result = verify_with_model_checker(
+            [small_profile, second_small_profile, tight],
+            instance_budget={"A": 1, "B": 1, "C": 1},
+            with_trace=True,
+        )
+        assert result.reachable
+        assert result.trace  # a witness trace is produced
+
+    def test_agreement_with_exhaustive_verifier(self, small_profile, second_small_profile):
+        """The faithful TA model and the direct state-space verifier must give
+        the same verdict (cross-validation of the two engines)."""
+        tight = SwitchingProfile.from_arrays(
+            name="C", requirement_samples=8, min_inter_arrival=30,
+            min_dwell=[4, 4], max_dwell=[6, 6],
+        )
+        cases = [
+            [small_profile],
+            [small_profile, second_small_profile],
+            [small_profile, second_small_profile, tight],
+        ]
+        for profiles in cases:
+            budget = {profile.name: 1 for profile in profiles}
+            ta_verdict = not verify_with_model_checker(profiles, instance_budget=budget).reachable
+            direct_verdict = verify_slot_sharing(
+                profiles, instance_budget=budget, with_counterexample=False
+            ).feasible
+            assert ta_verdict == direct_verdict
+
+    def test_paper_slot2_with_ta_engine(self, case_study_profiles):
+        """Slot S2 = {C6, C2} of the case study verifies feasible on the TA model."""
+        result = verify_with_model_checker(
+            [case_study_profiles["C6"], case_study_profiles["C2"]],
+            instance_budget={"C6": 1, "C2": 1},
+        )
+        assert not result.reachable
