@@ -1,0 +1,131 @@
+"""Micro-benchmarks of the raw slot-system transition throughput.
+
+These isolate the core `advance()` / `advance_packed()` step (states per
+second) from the full verification pipeline, so a regression in the
+transition function itself is visible even when the verifier's caching hides
+it.  The walks are deterministic (seeded arrival policy) and the tuple and
+packed walks are asserted to visit the same final state, so the benchmark
+doubles as an equivalence smoke test on a long trajectory.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _bench_utils import print_block
+from repro.casestudy import paper_profiles
+from repro.scheduler.packed import PackedSlotSystem
+from repro.scheduler.slot_system import (
+    SlotSystemConfig,
+    advance,
+    initial_state,
+    steady_applications,
+)
+
+#: Samples simulated per benchmark round.
+STEPS = 2_000
+#: Seed of the arrival policy (same for both representations).
+SEED = 0xC0FFEE
+#: Probability that an eligible application is disturbed at a boundary.
+ARRIVAL_PROBABILITY = 0.3
+
+
+@pytest.fixture(scope="module")
+def slot1_config():
+    profiles = paper_profiles()
+    return SlotSystemConfig.from_profiles(
+        [profiles[name] for name in ("C1", "C5", "C4", "C3")]
+    )
+
+
+def _walk_tuple(config, steps: int):
+    state = initial_state(config)
+    rng = random.Random(SEED)
+    for _ in range(steps):
+        arrivals = [
+            index
+            for index in steady_applications(config, state)
+            if rng.random() < ARRIVAL_PROBABILITY
+        ]
+        state, _ = advance(config, state, arrivals)
+    return state
+
+
+def _walk_packed(system: PackedSlotSystem, steps: int):
+    packed = system.initial
+    rng = random.Random(SEED)
+    for _ in range(steps):
+        mask = 0
+        for index in system.indices_of_mask(system.eligible_mask(packed)):
+            if rng.random() < ARRIVAL_PROBABILITY:
+                mask |= 1 << index
+        packed, _ = system.advance_packed(packed, mask)
+    return packed
+
+
+@pytest.mark.benchmark(group="slot-system")
+def test_tuple_advance_throughput(benchmark, slot1_config):
+    """Reference throughput of the tuple-based `advance` step."""
+    result = benchmark(_walk_tuple, slot1_config, STEPS)
+    assert result is not None
+    states_per_second = STEPS / benchmark.stats.stats.mean
+    benchmark.extra_info["states_per_second"] = states_per_second
+    print_block(
+        "slot-system core — tuple advance",
+        [f"{states_per_second:,.0f} states/s over {STEPS} samples"],
+    )
+
+
+@pytest.mark.benchmark(group="slot-system")
+def test_packed_advance_throughput(benchmark, slot1_config):
+    """Throughput of the packed single-step transition (same walk)."""
+    system = PackedSlotSystem(slot1_config)
+    packed_end = benchmark(_walk_packed, system, STEPS)
+    # Both representations must land on the identical state.
+    assert system.decode(packed_end) == _walk_tuple(slot1_config, STEPS)
+    states_per_second = STEPS / benchmark.stats.stats.mean
+    benchmark.extra_info["states_per_second"] = states_per_second
+    print_block(
+        "slot-system core — packed advance",
+        [f"{states_per_second:,.0f} states/s over {STEPS} samples"],
+    )
+
+
+@pytest.mark.benchmark(group="slot-system")
+def test_packed_batched_expansion_throughput(benchmark, slot1_config):
+    """Throughput of the batched `successors()` expansion on a BFS prefix.
+
+    This is the operation the exhaustive verifier performs once per state;
+    the memo is cleared before every round so the measurement reflects the
+    cold expansion cost.
+    """
+    system = PackedSlotSystem(slot1_config)
+    frontier = [system.initial]
+    states = []
+    seen = {system.initial}
+    while frontier and len(states) < 5_000:
+        state = frontier.pop()
+        states.append(state)
+        for _, successor, event_bits in system.successors(state):
+            if not event_bits & system.miss_field and successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+
+    def expand_all():
+        for state in states:
+            system.successors(state)
+
+    benchmark.pedantic(
+        expand_all,
+        setup=system.clear_memo,
+        rounds=10,
+        iterations=1,
+    )
+    states_per_second = len(states) / benchmark.stats.stats.mean
+    benchmark.extra_info["states_per_second"] = states_per_second
+    print_block(
+        "slot-system core — batched successor expansion",
+        [f"{states_per_second:,.0f} states/s over {len(states)} states"],
+    )

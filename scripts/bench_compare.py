@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Diff two pytest-benchmark JSON exports and gate on regressions.
+
+Intended as the CI regression gate for the verification hot path::
+
+    PYTHONPATH=src python -m pytest benchmarks -q \
+        --benchmark-json=baseline.json            # on the base revision
+    PYTHONPATH=src python -m pytest benchmarks -q \
+        --benchmark-json=current.json             # on the candidate revision
+    python scripts/bench_compare.py baseline.json current.json \
+        --group verification --threshold 0.20
+
+Exits non-zero when any benchmark of the selected group(s) is more than
+``threshold`` (default 20%) slower in ``current`` than in ``baseline``.
+Benchmarks present in only one file are reported but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Tuple
+
+
+def load_benchmarks(path: str) -> Dict[Tuple[str, str], float]:
+    """Map ``(group, name) -> mean seconds`` from a pytest-benchmark export."""
+    with open(path) as handle:
+        data = json.load(handle)
+    means: Dict[Tuple[str, str], float] = {}
+    for bench in data.get("benchmarks", []):
+        key = (bench.get("group") or "", bench["name"])
+        means[key] = float(bench["stats"]["mean"])
+    return means
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="pytest-benchmark JSON of the base revision")
+    parser.add_argument("current", help="pytest-benchmark JSON of the candidate revision")
+    parser.add_argument(
+        "--group",
+        action="append",
+        default=None,
+        help="benchmark group(s) to gate on (repeatable); default: all groups",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated relative slowdown (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+        current = load_benchmarks(args.current)
+    except (OSError, json.JSONDecodeError, KeyError) as error:
+        print(f"error: cannot load benchmark export: {error}", file=sys.stderr)
+        return 2
+    groups = set(args.group) if args.group else None
+
+    failures = []
+    rows = []
+    for key in sorted(set(baseline) | set(current)):
+        group, name = key
+        if groups is not None and group not in groups:
+            continue
+        base_mean = baseline.get(key)
+        cur_mean = current.get(key)
+        if base_mean is None or cur_mean is None:
+            rows.append((group, name, base_mean, cur_mean, None, "only in one file"))
+            continue
+        ratio = cur_mean / base_mean if base_mean > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            failures.append((group, name, ratio))
+        elif ratio < 1.0 - args.threshold:
+            status = "improved"
+        rows.append((group, name, base_mean, cur_mean, ratio, status))
+
+    if not rows:
+        print(f"no benchmarks matched groups {sorted(groups) if groups else 'ALL'}")
+        return 2
+
+    header = f"{'group':<14} {'benchmark':<48} {'base':>10} {'current':>10} {'ratio':>7}  status"
+    print(header)
+    print("-" * len(header))
+    for group, name, base_mean, cur_mean, ratio, status in rows:
+        base_text = f"{base_mean * 1e3:.1f}ms" if base_mean is not None else "-"
+        cur_text = f"{cur_mean * 1e3:.1f}ms" if cur_mean is not None else "-"
+        ratio_text = f"{ratio:.2f}x" if ratio is not None else "-"
+        print(f"{group:<14} {name:<48} {base_text:>10} {cur_text:>10} {ratio_text:>7}  {status}")
+
+    if failures:
+        print()
+        for group, name, ratio in failures:
+            print(
+                f"FAIL: {group}::{name} is {ratio:.2f}x the baseline "
+                f"(allowed {1.0 + args.threshold:.2f}x)"
+            )
+        return 1
+    print(f"\nall gated benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ closed-loop simulator produces the responses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,20 +46,45 @@ class SharedSlotResponse:
     requirements_met: Mapping[str, bool]
     settling_seconds: Mapping[str, Optional[float]]
     tt_samples: Mapping[str, int]
+    references: Mapping[str, Mapping[str, ClosedLoopTrajectory]] = field(default_factory=dict)
 
     def all_requirements_met(self) -> bool:
         """Whether every application settles within its requirement."""
         return all(self.requirements_met.values())
 
+    def reference_settling_seconds(self, name: str, mode: str) -> Optional[float]:
+        """Settling time of an application's single-mode reference curve.
+
+        ``mode`` is ``"TT"`` (dedicated slot, the paper's ``J_T``) or
+        ``"ET"`` (event-triggered only, ``J_E``); ``None`` when the curve
+        does not settle within the horizon or references were not computed.
+        """
+        reference = (self.references or {}).get(name, {}).get(mode)
+        if reference is None:
+            return None
+        settling = reference.settling()
+        return settling.seconds if settling.settled else None
+
     def format_summary(self) -> list:
         """Printable per-application summary lines."""
         lines = []
         for name in sorted(self.trajectories):
-            lines.append(
+            line = (
                 f"{name}: J = {self.settling_seconds[name]} s, "
                 f"TT samples = {self.tt_samples[name]}, "
                 f"requirement met = {self.requirements_met[name]}"
             )
+            annotations = [
+                f"{label} = {value:.2f} s"
+                for label, value in (
+                    ("J_T", self.reference_settling_seconds(name, "TT")),
+                    ("J_E", self.reference_settling_seconds(name, "ET")),
+                )
+                if value is not None
+            ]
+            if annotations:
+                line += f" ({', '.join(annotations)})"
+            lines.append(line)
         return lines
 
 
@@ -86,6 +111,18 @@ def _shared_slot_response(
     disturbed = {name: applications[name].disturbed_state for name in names}
     trajectories = simulator.control_trajectories(schedule, simulators, disturbed, trace)
 
+    # Single-mode reference curves (the paper's J_T / J_E annotations).
+    # The schedules differ per curve, so simulate_batch runs them
+    # per-instance (no cross-instance vectorization happens here); the
+    # batch API is used for the single-call shape, not for speed.
+    references: Dict[str, Dict[str, ClosedLoopTrajectory]] = {}
+    for name in names:
+        tt_only, et_only = simulators[name].simulate_batch(
+            [disturbed[name], disturbed[name]],
+            [["TT"] * horizon, ["ET"] * horizon],
+        )
+        references[name] = {"TT": tt_only, "ET": et_only}
+
     requirements_met: Dict[str, bool] = {}
     settling_seconds: Dict[str, Optional[float]] = {}
     tt_samples: Dict[str, int] = {}
@@ -101,6 +138,7 @@ def _shared_slot_response(
         requirements_met=requirements_met,
         settling_seconds=settling_seconds,
         tt_samples=tt_samples,
+        references=references,
     )
 
 

@@ -51,9 +51,13 @@ class AccelerationComparison:
         return [
             f"slot: {{{', '.join(self.applications)}}}",
             f"unbounded  : {self.unbounded.explored_states} states, "
-            f"{self.unbounded.elapsed_seconds:.2f}s, feasible={self.unbounded.feasible}",
+            f"{self.unbounded.elapsed_seconds:.2f}s "
+            f"({self.unbounded.states_per_second:,.0f} states/s), "
+            f"feasible={self.unbounded.feasible}",
             f"accelerated: {self.accelerated.explored_states} states, "
-            f"{self.accelerated.elapsed_seconds:.2f}s, feasible={self.accelerated.feasible}",
+            f"{self.accelerated.elapsed_seconds:.2f}s "
+            f"({self.accelerated.states_per_second:,.0f} states/s), "
+            f"feasible={self.accelerated.feasible}",
             f"state reduction: {self.state_reduction:.1f}x, speed-up: {self.speedup:.1f}x",
         ]
 

@@ -10,12 +10,20 @@ The simulator keeps the pair ``(x, u_prev)`` as its full state so that an
 arbitrary interleaving of the two modes — exactly what the switching
 strategy produces — can be simulated sample by sample without any loss of
 information at the mode boundaries.
+
+Both modes are linear in the augmented state ``z = [x; u_pending]``, so the
+simulator precomputes one closed-loop matrix per mode and evaluates whole
+runs of same-mode samples with a single batched matrix-power product (the
+powers are cached and grown on demand).  ``simulate_batch`` extends this to
+many initial states sharing one mode schedule — the dwell-analysis and
+figure pipelines evaluate thousands of switching patterns on the same plant
+and are dominated by these products.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -101,6 +109,10 @@ class ClosedLoopSimulator:
             if et_gain.shape != (m, n + m):
                 raise DimensionError(f"K_E must be {m}x{n + m}, got {et_gain.shape}")
             self._et_gain = et_gain
+        # Per-mode closed-loop matrices over z = [x; u_pending] and their
+        # cached power stacks (grown on demand by _powers).
+        self._mode_matrix: Dict[str, np.ndarray] = {}
+        self._power_cache: Dict[str, np.ndarray] = {}
 
     @property
     def tt_gain(self) -> np.ndarray:
@@ -159,6 +171,69 @@ class ClosedLoopSimulator:
             return -(self.et_gain @ z)
         raise SimulationError(f"unknown mode {mode!r}; expected 'TT' or 'ET'")
 
+    # --------------------------------------------------- closed-loop algebra
+    def closed_loop_matrix(self, mode: str) -> np.ndarray:
+        """The one-step closed-loop matrix of a mode over ``z = [x; u_pending]``.
+
+        ``z[k+1] = A_mode z[k]`` where the pending component is the command
+        the actuator will hold during the next event-triggered sample:
+
+        * TT: ``x' = (Phi - Gamma K_T) x``, ``pending' = -K_T x``.
+        * ET: ``x' = Phi x + Gamma pending``, ``pending' = -K_E [x; pending]``.
+        """
+        cached = self._mode_matrix.get(mode)
+        if cached is not None:
+            return cached
+        n = self.plant.state_dimension
+        m = self.plant.input_dimension
+        matrix = np.zeros((n + m, n + m))
+        if mode == self.TT:
+            gain = self.tt_gain
+            matrix[:n, :n] = self.plant.phi - self.plant.gamma @ gain
+            matrix[n:, :n] = -gain
+        elif mode == self.ET:
+            gain = self.et_gain
+            matrix[:n, :n] = self.plant.phi
+            matrix[:n, n:] = self.plant.gamma
+            matrix[n:, :] = -gain
+        else:
+            raise SimulationError(f"unknown mode {mode!r}; expected 'TT' or 'ET'")
+        self._mode_matrix[mode] = matrix
+        return matrix
+
+    def _powers(self, mode: str, length: int) -> np.ndarray:
+        """Cached stack ``[I, A, A^2, ..., A^length]`` of a mode matrix."""
+        cached = self._power_cache.get(mode)
+        if cached is None or cached.shape[0] <= length:
+            matrix = self.closed_loop_matrix(mode)
+            size = matrix.shape[0]
+            target = max(length + 1, 2 * (cached.shape[0] if cached is not None else 8))
+            powers = np.empty((target, size, size))
+            if cached is None:
+                powers[0] = np.eye(size)
+                start = 1
+            else:
+                start = cached.shape[0]
+                powers[:start] = cached
+            for j in range(start, target):
+                powers[j] = matrix @ powers[j - 1]
+            self._power_cache[mode] = powers
+            cached = powers
+        return cached
+
+    @staticmethod
+    def _runs(mode_sequence: Sequence[str]) -> List[Tuple[str, int]]:
+        """Collapse a per-sample mode schedule into ``(mode, length)`` runs."""
+        runs: List[Tuple[str, int]] = []
+        for k, mode in enumerate(mode_sequence):
+            if mode != ClosedLoopSimulator.TT and mode != ClosedLoopSimulator.ET:
+                raise SimulationError(f"unknown mode {mode!r} at sample {k}")
+            if runs and runs[-1][0] == mode:
+                runs[-1] = (mode, runs[-1][1] + 1)
+            else:
+                runs.append((mode, 1))
+        return runs
+
     # ------------------------------------------------------------ simulation
     def simulate_mode_sequence(
         self,
@@ -172,6 +247,9 @@ class ClosedLoopSimulator:
         ``-K_T x[k]`` acts immediately; in an ET sample the command computed
         at the previous sample (``-K_E z[k-1]`` or the last TT command) acts,
         and a new ET command is computed for the next sample.
+
+        Each run of same-mode samples is evaluated in one batched
+        matrix-power product instead of a per-sample Python loop.
 
         Args:
             initial_state: plant state at sample 0 (the disturbed state).
@@ -194,22 +272,24 @@ class ClosedLoopSimulator:
         states = np.empty((steps + 1, n))
         inputs = np.empty((steps, m))
         states[0] = x
-        for k, mode in enumerate(mode_sequence):
+
+        z = np.concatenate([x, pending])
+        k = 0
+        for mode, length in self._runs(mode_sequence):
+            trajectory = self._powers(mode, length)[1 : length + 1] @ z
+            # The input applied during sample k depends on z *before* the
+            # step: the fresh TT command, or the held pending ET command.
+            z_before = np.empty((length, n + m))
+            z_before[0] = z
+            z_before[1:] = trajectory[:-1]
             if mode == self.TT:
-                applied = -(self.tt_gain @ x)
-                # A TT transmission also refreshes the command the actuator
-                # will hold if the next sample is event-triggered.
-                next_pending = applied
-            elif mode == self.ET:
-                applied = pending
-                z = np.concatenate([x, applied])
-                next_pending = -(self.et_gain @ z)
+                inputs[k : k + length] = -(z_before[:, :n] @ self.tt_gain.T)
             else:
-                raise SimulationError(f"unknown mode {mode!r} at sample {k}")
-            inputs[k] = applied
-            x = self.plant.phi @ x + self.plant.gamma @ applied
-            states[k + 1] = x
-            pending = next_pending
+                inputs[k : k + length] = z_before[:, n:]
+            states[k + 1 : k + 1 + length] = trajectory[:, :n]
+            z = trajectory[-1]
+            k += length
+
         outputs = states @ self.plant.c.T
         return ClosedLoopTrajectory(
             states=states,
@@ -218,6 +298,100 @@ class ClosedLoopSimulator:
             modes=tuple(mode_sequence),
             sampling_period=self.plant.sampling_period,
         )
+
+    def simulate_batch(
+        self,
+        initial_states: Sequence[np.ndarray],
+        mode_sequences,
+        initial_previous_inputs: Optional[Sequence[np.ndarray]] = None,
+    ) -> List[ClosedLoopTrajectory]:
+        """Simulate many closed-loop instances in one shot.
+
+        Args:
+            initial_states: one plant state per instance, shape ``(B, n)``
+                (or any sequence of state vectors).
+            mode_sequences: either one shared per-sample mode schedule applied
+                to every instance (fully vectorized across the batch), or a
+                sequence of ``B`` per-instance schedules.
+            initial_previous_inputs: optional per-instance pending commands.
+
+        Returns:
+            One :class:`ClosedLoopTrajectory` per instance, in order.
+        """
+        batch = [
+            np.asarray(state, dtype=float).reshape(self.plant.state_dimension)
+            for state in initial_states
+        ]
+        pendings = (
+            [np.zeros(self.plant.input_dimension) for _ in batch]
+            if initial_previous_inputs is None
+            else [
+                np.asarray(u, dtype=float).reshape(self.plant.input_dimension)
+                for u in initial_previous_inputs
+            ]
+        )
+        if len(pendings) != len(batch):
+            raise SimulationError(
+                f"{len(batch)} initial states but {len(pendings)} previous inputs"
+            )
+
+        shared = bool(mode_sequences) and isinstance(mode_sequences[0], str)
+        if not shared:
+            sequences = list(mode_sequences)
+            if len(sequences) != len(batch):
+                raise SimulationError(
+                    f"{len(batch)} initial states but {len(sequences)} mode sequences"
+                )
+            return [
+                self.simulate_mode_sequence(state, modes, pending)
+                for state, modes, pending in zip(batch, sequences, pendings)
+            ]
+
+        mode_sequence = list(mode_sequences)
+        n = self.plant.state_dimension
+        m = self.plant.input_dimension
+        steps = len(mode_sequence)
+        size = len(batch)
+        states = np.empty((size, steps + 1, n))
+        inputs = np.empty((size, steps, m))
+
+        z = np.empty((size, n + m))
+        for b, (x, pending) in enumerate(zip(batch, pendings)):
+            states[b, 0] = x
+            z[b, :n] = x
+            z[b, n:] = pending
+
+        k = 0
+        for mode, length in self._runs(mode_sequence):
+            powers = self._powers(mode, length)[1 : length + 1]
+            # (L, s, s) @ (B, s) -> (L, B, s): every instance advances through
+            # the same run of same-mode samples in one product.
+            trajectory = np.einsum("lij,bj->lbi", powers, z)
+            z_before = np.empty((length, size, n + m))
+            z_before[0] = z
+            z_before[1:] = trajectory[:-1]
+            if mode == self.TT:
+                applied = -(z_before[:, :, :n] @ self.tt_gain.T)
+            else:
+                applied = z_before[:, :, n:]
+            inputs[:, k : k + length] = applied.transpose(1, 0, 2)
+            states[:, k + 1 : k + 1 + length] = trajectory[:, :, :n].transpose(1, 0, 2)
+            z = trajectory[-1]
+            k += length
+
+        modes = tuple(mode_sequence)
+        period = self.plant.sampling_period
+        c_t = self.plant.c.T
+        return [
+            ClosedLoopTrajectory(
+                states=states[b],
+                inputs=inputs[b],
+                outputs=states[b] @ c_t,
+                modes=modes,
+                sampling_period=period,
+            )
+            for b in range(size)
+        ]
 
     def simulate_tt_only(self, initial_state: np.ndarray, steps: int) -> ClosedLoopTrajectory:
         """Simulate with a dedicated TT slot for every sample."""

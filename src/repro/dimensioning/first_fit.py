@@ -105,13 +105,23 @@ def default_admission_test(
 ) -> AdmissionTest:
     """Admission test backed by the exhaustive verifier.
 
+    Verdicts are memoized per candidate profile set: dimensioning runs with
+    different consideration orders (and repeated runs in benchmarks) probe
+    the same slot configurations over and over, and a verification verdict
+    is a pure function of the profile set.
+
     Args:
         max_states: optional exploration cap forwarded to the verifier.
         use_acceleration: whether to bound disturbance instances with the
             budgets of :func:`repro.verification.acceleration.instance_budgets`.
     """
+    verdicts: Dict[Tuple[SwitchingProfile, ...], bool] = {}
 
     def admit(profiles: Sequence[SwitchingProfile]) -> bool:
+        key = tuple(sorted(profiles, key=lambda profile: profile.name))
+        cached = verdicts.get(key)
+        if cached is not None:
+            return cached
         budget = instance_budgets(profiles) if use_acceleration else None
         kwargs = {}
         if max_states is not None:
@@ -124,6 +134,7 @@ def default_admission_test(
                 "verification truncated before completion; raise max_states or "
                 "tighten the instance budgets"
             )
+        verdicts[key] = result.feasible
         return result.feasible
 
     return admit

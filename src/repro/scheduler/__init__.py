@@ -1,8 +1,15 @@
 """Slot scheduling: the EDF-like arbiter, the discrete-time shared-slot
-transition system, the deterministic trace simulator and the baseline
+transition system (tuple-based reference semantics and its bit-packed
+high-throughput mirror), the deterministic trace simulator and the baseline
 schedulability analysis of [9]."""
 
 from .arbiter import EarliestDeadlineArbiter, SlotRequest
+from .packed import (
+    PackedSlotSystem,
+    advance_packed,
+    clear_packed_caches,
+    packed_system_for,
+)
 from .baseline import (
     BaselineDimensioningResult,
     BaselineResponse,
@@ -32,6 +39,10 @@ from .slot_system import (
 __all__ = [
     "EarliestDeadlineArbiter",
     "SlotRequest",
+    "PackedSlotSystem",
+    "advance_packed",
+    "clear_packed_caches",
+    "packed_system_for",
     "SlotSystemConfig",
     "SlotSystemState",
     "StepEvents",

@@ -1,0 +1,640 @@
+"""Packed integer encoding of the shared-slot transition system.
+
+The tuple-based semantics in :mod:`repro.scheduler.slot_system` are the
+readable single source of truth, but hashing nested tuples and allocating a
+fresh dataclass per successor dominates the exhaustive verifier's wall-clock.
+This module provides a lossless bit-packed representation of
+:class:`~repro.scheduler.slot_system.SlotSystemState` as a single Python
+``int`` together with a transition function that operates directly on the
+packed form:
+
+* :class:`PackedSlotSystem` — precomputes, per application, the field widths
+  and shifts, the dwell-bound lookup tables and the instance budgets, and
+  offers ``encode`` / ``decode`` / ``advance_packed`` / ``successors``.
+* ``advance_packed(packed, arrival_mask)`` mirrors
+  :func:`repro.scheduler.slot_system.advance` exactly (the equivalence is
+  covered by an exhaustive cross-check test on small systems) but returns the
+  successor as an ``int`` and the observable events as a bit field.
+* ``successors(packed)`` expands *all* admissible arrival subsets of one
+  state at once, sharing the arrival-independent work (field decoding, clock
+  advance, occupant disposition) across the subsets, and memoizes the result
+  — the workhorse of the frontier-batched BFS in
+  :mod:`repro.verification.exhaustive`.
+
+Bit layout (least significant first)::
+
+    [app 0 block] [app 1 block] ... [occupant + 1] [buffer member mask]
+
+with each application block laid out as::
+
+    [3-bit phase tag] [counter 1] [counter 2] [instances used]
+
+``counter 1`` holds the wait (``W``/``T``) or the recovery clock (``F``);
+``counter 2`` holds the dwell (``T`` only); the instances field is only
+present when the application has an instance budget.  The buffer *order* is
+not stored: the sorted-insertion policy of the arbiter keeps the buffer
+ordered by ascending slack, ties broken by earlier arrival (larger wait) and
+then by application index, so the order is a pure function of the member set
+and the per-application wait counters and is reconstructed on decode.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import SchedulingError
+from .slot_system import (
+    DONE,
+    HOLDING,
+    NO_OCCUPANT,
+    SAFE,
+    STEADY,
+    WAITING,
+    SlotSystemConfig,
+    SlotSystemState,
+    StepEvents,
+    initial_state,
+)
+
+#: Numeric phase tags used inside the packed representation.
+TAG_STEADY = 0
+TAG_WAITING = 1
+TAG_HOLDING = 2
+TAG_SAFE = 3
+TAG_DONE = 4
+
+_TAG_BITS = 3
+_TAG_FIELD = 7
+
+_TAG_OF_LETTER = {
+    STEADY: TAG_STEADY,
+    WAITING: TAG_WAITING,
+    HOLDING: TAG_HOLDING,
+    SAFE: TAG_SAFE,
+    DONE: TAG_DONE,
+}
+_LETTER_OF_TAG = {tag: letter for letter, tag in _TAG_OF_LETTER.items()}
+
+
+class PackedSlotSystem:
+    """Bit-packed mirror of one :class:`SlotSystemConfig`'s transition system.
+
+    Args:
+        config: the static slot-system configuration.
+        memo_limit: maximum number of states whose successor lists are
+            memoized by :meth:`successors`; beyond the limit successor lists
+            are recomputed on demand (bounds memory on huge state spaces).
+    """
+
+    def __init__(self, config: SlotSystemConfig, memo_limit: int = 1 << 18) -> None:
+        self.config = config
+        n = len(config)
+        self._n = n
+        self._memo_limit = int(memo_limit)
+
+        self._max_wait: List[int] = [p.max_wait for p in config.profiles]
+        self._inter_arrival: List[int] = [p.min_inter_arrival for p in config.profiles]
+        self._budget: List[Optional[int]] = list(config.instance_budget)
+        # Dwell bounds indexed by the (clamped) wait at grant.
+        self._min_dwell: List[List[int]] = [list(p.min_dwell_array) for p in config.profiles]
+        self._max_dwell: List[List[int]] = [list(p.max_dwell_array) for p in config.profiles]
+
+        # ---- per-application field widths / shifts -------------------------
+        self._app_shift: List[int] = []
+        self._c1_mask: List[int] = []
+        self._c2_off: List[int] = []
+        self._c2_mask: List[int] = []
+        self._inst_off: List[int] = []
+        self._inst_mask: List[int] = []
+        shift = 0
+        for i, profile in enumerate(config.profiles):
+            # Waits may reach max_wait + 1 (a deadline miss), recovery clocks
+            # reach r - 1; one spare bit guards against silent wrap-around.
+            c1_bits = max(profile.max_wait + 1, profile.min_inter_arrival - 1, 1).bit_length() + 1
+            c2_bits = max(profile.worst_max_dwell, 1).bit_length() + 1
+            budget = self._budget[i]
+            inst_bits = budget.bit_length() if budget else 0
+            self._app_shift.append(shift)
+            self._c1_mask.append((1 << c1_bits) - 1)
+            self._c2_off.append(_TAG_BITS + c1_bits)
+            self._c2_mask.append((1 << c2_bits) - 1)
+            self._inst_off.append(_TAG_BITS + c1_bits + c2_bits)
+            self._inst_mask.append((1 << inst_bits) - 1)
+            shift += _TAG_BITS + c1_bits + c2_bits + inst_bits
+
+        occ_bits = max(n.bit_length(), 1)
+        self._occ_shift = shift
+        self._occ_field = (1 << occ_bits) - 1
+        self._buf_shift = shift + occ_bits
+        self._buf_field = (1 << n) - 1
+        self.state_bits = self._buf_shift + n
+
+        # ---- event bit-field layout ---------------------------------------
+        self.miss_field = (1 << n) - 1
+        self._ev_recovered_shift = n
+        self._ev_admitted_shift = 2 * n
+        self._ev_granted_shift = 3 * n
+        self._ev_preempted_shift = 3 * n + occ_bits
+        self._ev_released_shift = 3 * n + 2 * occ_bits
+        self._ev_occ_field = self._occ_field
+
+        # ---- caches --------------------------------------------------------
+        self._block_mask: List[int] = [
+            (1 << (self._inst_off[i] + self._inst_mask[i].bit_length())) - 1
+            for i in range(n)
+        ]
+        # Lazily filled per-application transition tables: block value ->
+        # precomputed advanced block and XOR deltas (see _block_info).
+        self._block_memo: List[Dict[int, tuple]] = [dict() for _ in range(n)]
+        self._subset_cache: Dict[int, Tuple[Tuple[int, Tuple[int, ...]], ...]] = {}
+        self._indices_cache: Dict[int, Tuple[int, ...]] = {}
+        self._successor_memo: Dict[int, Tuple[Tuple[int, int, int], ...]] = {}
+        self.initial = self.encode(initial_state(config))
+
+    # ------------------------------------------------------------- encoding
+    def encode(self, state: SlotSystemState) -> int:
+        """Pack a tuple-based state losslessly into one integer."""
+        n = self._n
+        if len(state.phases) != n:
+            raise SchedulingError(
+                f"state has {len(state.phases)} applications, config has {n}"
+            )
+        packed = 0
+        for i, phase in enumerate(state.phases):
+            tag = _TAG_OF_LETTER.get(phase[0])
+            if tag is None:
+                raise SchedulingError(f"unknown phase tag {phase[0]!r}")
+            c1 = c2 = 0
+            if tag in (TAG_WAITING, TAG_SAFE):
+                c1 = phase[1]
+            elif tag == TAG_HOLDING:
+                c1, c2 = phase[1], phase[2]
+            inst = state.instances_used[i]
+            if c1 > self._c1_mask[i] or c2 > self._c2_mask[i] or inst > self._inst_mask[i]:
+                raise SchedulingError(
+                    f"application {self.config.names[i]!r}: phase {phase!r} / instances "
+                    f"{inst} exceed the packed field widths"
+                )
+            packed |= (
+                tag
+                | (c1 << _TAG_BITS)
+                | (c2 << self._c2_off[i])
+                | (inst << self._inst_off[i])
+            ) << self._app_shift[i]
+        packed |= (state.occupant + 1) << self._occ_shift
+        buffer_mask = 0
+        for index in state.buffer:
+            buffer_mask |= 1 << index
+        packed |= buffer_mask << self._buf_shift
+        return packed
+
+    def decode(self, packed: int) -> SlotSystemState:
+        """Rebuild the tuple-based state from its packed form."""
+        n = self._n
+        phases: List[Tuple] = []
+        waits: List[int] = []
+        instances: List[int] = []
+        for i in range(n):
+            block = packed >> self._app_shift[i]
+            tag = block & _TAG_FIELD
+            c1 = (block >> _TAG_BITS) & self._c1_mask[i]
+            c2 = (block >> self._c2_off[i]) & self._c2_mask[i]
+            instances.append((block >> self._inst_off[i]) & self._inst_mask[i])
+            waits.append(c1)
+            if tag == TAG_STEADY:
+                phases.append((STEADY,))
+            elif tag == TAG_WAITING:
+                phases.append((WAITING, c1))
+            elif tag == TAG_HOLDING:
+                phases.append((HOLDING, c1, c2))
+            elif tag == TAG_SAFE:
+                phases.append((SAFE, c1))
+            elif tag == TAG_DONE:
+                phases.append((DONE,))
+            else:
+                raise SchedulingError(f"corrupt packed state: unknown tag {tag}")
+        occupant = ((packed >> self._occ_shift) & self._occ_field) - 1
+        buffer_mask = (packed >> self._buf_shift) & self._buf_field
+        return SlotSystemState(
+            phases=tuple(phases),
+            buffer=tuple(self._buffer_order(buffer_mask, waits)),
+            occupant=occupant,
+            instances_used=tuple(instances),
+        )
+
+    # --------------------------------------------------------------- events
+    def events_from_bits(self, event_bits: int) -> StepEvents:
+        """Expand an event bit field into the tuple-based :class:`StepEvents`."""
+        n = self._n
+        return StepEvents(
+            admitted=self.indices_of_mask((event_bits >> self._ev_admitted_shift) & self.miss_field),
+            granted=self._ev_index(event_bits, self._ev_granted_shift),
+            preempted=self._ev_index(event_bits, self._ev_preempted_shift),
+            released=self._ev_index(event_bits, self._ev_released_shift),
+            deadline_misses=self.indices_of_mask(event_bits & self.miss_field),
+            recovered=self.indices_of_mask((event_bits >> self._ev_recovered_shift) & self.miss_field),
+        )
+
+    def _ev_index(self, event_bits: int, shift: int) -> Optional[int]:
+        value = (event_bits >> shift) & self._ev_occ_field
+        return value - 1 if value else None
+
+    def occupant_of(self, packed: int) -> int:
+        """Index of the slot occupant in a packed state (``-1`` when idle)."""
+        return ((packed >> self._occ_shift) & self._occ_field) - 1
+
+    # -------------------------------------------------------------- helpers
+    def arrival_mask(self, arrivals: Iterable[int]) -> int:
+        """Bit mask of an arrival index collection."""
+        mask = 0
+        for index in arrivals:
+            mask |= 1 << int(index)
+        return mask
+
+    def indices_of_mask(self, mask: int) -> Tuple[int, ...]:
+        """Ascending application indices of a bit mask (cached)."""
+        cached = self._indices_cache.get(mask)
+        if cached is None:
+            cached = tuple(i for i in range(self._n) if (mask >> i) & 1)
+            self._indices_cache[mask] = cached
+        return cached
+
+    def arrival_subsets(self, eligible_mask: int) -> Tuple[int, ...]:
+        """All subsets of an eligible mask, smallest first (cached).
+
+        The ordering matches the seed verifier's ``itertools.combinations``
+        enumeration (by subset size, then lexicographically by index) so the
+        packed BFS discovers states in the identical order.
+        """
+        return tuple(mask for mask, _ in self._arrival_subset_pairs(eligible_mask))
+
+    def _arrival_subset_pairs(
+        self, eligible_mask: int
+    ) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        """``(subset_mask, subset_indices)`` pairs of an eligible mask (cached)."""
+        cached = self._subset_cache.get(eligible_mask)
+        if cached is None:
+            members = self.indices_of_mask(eligible_mask)
+            subsets: List[Tuple[int, Tuple[int, ...]]] = []
+            for size in range(len(members) + 1):
+                for combination in itertools.combinations(members, size):
+                    mask = 0
+                    for index in combination:
+                        mask |= 1 << index
+                    subsets.append((mask, combination))
+            cached = tuple(subsets)
+            self._subset_cache[eligible_mask] = cached
+        return cached
+
+    def eligible_mask(self, packed: int) -> int:
+        """Mask of applications that may be disturbed in this state."""
+        mask = 0
+        for i in range(self._n):
+            block = packed >> self._app_shift[i]
+            if block & _TAG_FIELD == TAG_STEADY:
+                budget = self._budget[i]
+                if budget is None or (block >> self._inst_off[i]) & self._inst_mask[i] < budget:
+                    mask |= 1 << i
+        return mask
+
+    def _buffer_order(self, buffer_mask: int, waits: Sequence[int]) -> List[int]:
+        """Service order of the buffer members.
+
+        The arbiter's stable sorted insertion keeps the buffer ordered by
+        ascending slack; among equal slacks the earlier arrival (larger
+        current wait) is ahead, and same-sample ties are broken by ascending
+        index (arrivals are admitted in index order).
+        """
+        members = [i for i in range(self._n) if (buffer_mask >> i) & 1]
+        if len(members) > 1:
+            max_wait = self._max_wait
+            members.sort(key=lambda i: (max_wait[i] - waits[i], -waits[i], i))
+        return members
+
+    def _post_slot_block(self, index: int, elapsed: int, inst: int) -> int:
+        """Application block after leaving the slot (Done / Steady / ET_Safe)."""
+        inst_bits = inst << self._inst_off[index]
+        budget = self._budget[index]
+        if budget is not None and inst >= budget:
+            return TAG_DONE | inst_bits
+        if elapsed >= self._inter_arrival[index]:
+            return TAG_STEADY | inst_bits
+        return TAG_SAFE | (elapsed << _TAG_BITS) | inst_bits
+
+    # ----------------------------------------------------------- transitions
+    def advance_packed(self, packed: int, arrival_mask: int = 0) -> Tuple[int, int]:
+        """One sample-boundary step on the packed representation.
+
+        Args:
+            packed: the packed current state.
+            arrival_mask: bit mask of the applications whose disturbance is
+                sensed at this boundary; they must be steady and within their
+                instance budget, exactly like
+                :func:`repro.scheduler.slot_system.advance`.
+
+        Returns:
+            ``(next_packed, event_bits)``; feed ``event_bits`` to
+            :meth:`events_from_bits` for the tuple-based event view, or test
+            ``event_bits & self.miss_field`` for deadline misses.
+        """
+        if arrival_mask >> self._n:
+            raise SchedulingError(
+                f"arrival mask {arrival_mask:#x} addresses applications outside the system"
+            )
+        for i in self.indices_of_mask(arrival_mask):
+            block = packed >> self._app_shift[i]
+            if block & _TAG_FIELD != TAG_STEADY:
+                letter = _LETTER_OF_TAG[block & _TAG_FIELD]
+                raise SchedulingError(
+                    f"application {self.config.names[i]!r} received a disturbance while in "
+                    f"phase {letter!r}; the sporadic model forbids this"
+                )
+            budget = self._budget[i]
+            if budget is not None and (block >> self._inst_off[i]) & self._inst_mask[i] >= budget:
+                raise SchedulingError(
+                    f"application {self.config.names[i]!r} exceeded its instance budget {budget}"
+                )
+        return self._expand(packed, (arrival_mask,))[0][1:]
+
+    def successors(self, packed: int) -> Tuple[Tuple[int, int, int], ...]:
+        """All one-step successors of a state, one per admissible arrival subset.
+
+        Returns a tuple of ``(arrival_mask, next_packed, event_bits)``
+        entries, memoized per state up to the ``memo_limit``.
+        """
+        cached = self._successor_memo.get(packed)
+        if cached is None:
+            cached = self._expand(packed, None)
+            if len(self._successor_memo) < self._memo_limit:
+                self._successor_memo[packed] = cached
+        return cached
+
+    def clear_memo(self) -> None:
+        """Drop the memoized successor table (frees memory after a search).
+
+        Retention is deliberate: repeated verifications of the same
+        configuration (benchmark rounds, first-fit admission retries) reuse
+        the table for an order-of-magnitude warm-up.  Long-lived processes
+        that verify each configuration only once should call this (or
+        :func:`clear_packed_caches`) after a search — the table can hold up
+        to ``memo_limit`` entries.
+        """
+        self._successor_memo.clear()
+
+    def _block_info(self, index: int, block: int) -> tuple:
+        """Precomputed one-step data for one application block value.
+
+        Everything an expansion step may need about this application is
+        derived once and cached: the clock-advanced block (already shifted
+        into place) plus XOR deltas for each possible role the application
+        can play at this boundary (arrival, grant, slot exit).  Tuple layout:
+
+        ``(adv_shifted, wait_after, eligible_bit, recovered_bit, release,
+        preemptible, post_xor, arrival_xor, arrival_grant_xor,
+        buffer_grant_xor, miss_bit, slack_after)``
+        """
+        shift = self._app_shift[index]
+        inst_off = self._inst_off[index]
+        max_wait = self._max_wait[index]
+        budget = self._budget[index]
+        bit = 1 << index
+
+        tag = block & _TAG_FIELD
+        c1 = (block >> _TAG_BITS) & self._c1_mask[index]
+        c2 = (block >> self._c2_off[index]) & self._c2_mask[index]
+        inst = (block >> inst_off) & self._inst_mask[index]
+
+        # -- clock advance ---------------------------------------------------
+        recovered_bit = 0
+        if tag == TAG_WAITING:
+            # Saturate instead of wrapping into the neighbouring fields.
+            # The verifier never advances past an error state (waits stay
+            # within max_wait + 1 there) and the field holds at least
+            # 2 * (max_wait + 1) - 1, so saturation only engages deep in
+            # post-miss territory; it keeps `wait > max_wait` (the reported
+            # miss) stable, but relative slacks among several long-overdue
+            # waiters are no longer exact — callers replaying past a miss
+            # must switch to the tuple semantics (see SlotScheduleSimulator).
+            if c1 < self._c1_mask[index]:
+                c1 += 1
+        elif tag == TAG_HOLDING:
+            c2 += 1
+        elif tag == TAG_SAFE:
+            c1 += 1
+            if c1 >= self._inter_arrival[index]:
+                tag = TAG_STEADY
+                c1 = 0
+                recovered_bit = bit
+        adv_block = (
+            tag | (c1 << _TAG_BITS) | (c2 << self._c2_off[index]) | (inst << inst_off)
+        )
+        adv_shifted = adv_block << shift
+
+        eligible_bit = 0
+        arrival_xor = 0
+        arrival_grant_xor = 0
+        if tag == TAG_STEADY and not recovered_bit and (budget is None or inst < budget):
+            eligible_bit = bit
+            inst_after = inst + 1 if budget is not None else 0
+            arrival_block = TAG_WAITING | (inst_after << inst_off)
+            arrival_xor = adv_shifted ^ (arrival_block << shift)
+            arrival_grant_xor = adv_shifted ^ ((arrival_block + 1) << shift)
+
+        release = False
+        preemptible = False
+        post_xor = 0
+        buffer_grant_xor = 0
+        if tag == TAG_HOLDING:
+            lookup = c1 if c1 <= max_wait else max_wait
+            release = c2 >= self._max_dwell[index][lookup]
+            preemptible = c2 >= self._min_dwell[index][lookup]
+            if release or preemptible:
+                post_xor = adv_shifted ^ (self._post_slot_block(index, c1 + c2, inst) << shift)
+        elif tag == TAG_WAITING:
+            grant_block = TAG_HOLDING | (c1 << _TAG_BITS) | (inst << inst_off)
+            buffer_grant_xor = adv_shifted ^ (grant_block << shift)
+
+        miss_bit = bit if c1 > max_wait and tag == TAG_WAITING else 0
+        return (
+            adv_shifted,
+            c1,
+            eligible_bit,
+            recovered_bit,
+            release,
+            preemptible,
+            post_xor,
+            arrival_xor,
+            arrival_grant_xor,
+            buffer_grant_xor,
+            miss_bit,
+            max_wait - c1,
+        )
+
+    def _expand(
+        self, packed: int, masks: Optional[Tuple[int, ...]]
+    ) -> Tuple[Tuple[int, int, int], ...]:
+        """Successor states for the given arrival masks (or all subsets)."""
+        n = self._n
+        app_shift = self._app_shift
+        block_masks = self._block_mask
+        memos = self._block_memo
+
+        infos: List[tuple] = [()] * n
+        base_bits = 0
+        eligible = 0
+        recovered = 0
+        for i in range(n):
+            block = (packed >> app_shift[i]) & block_masks[i]
+            memo = memos[i]
+            info = memo.get(block)
+            if info is None:
+                info = self._block_info(i, block)
+                memo[block] = info
+            infos[i] = info
+            base_bits |= info[0]
+            eligible |= info[2]
+            recovered |= info[3]
+
+        occupant = ((packed >> self._occ_shift) & self._occ_field) - 1
+        buffer_mask = (packed >> self._buf_shift) & self._buf_field
+        if buffer_mask:
+            members = self.indices_of_mask(buffer_mask)
+            if len(members) > 1:
+                buffer0 = sorted(
+                    members, key=lambda i: (infos[i][11], -infos[i][1], i)
+                )
+            else:
+                buffer0 = list(members)
+        else:
+            buffer0 = None
+        occ_info = infos[occupant] if occupant >= 0 else None
+
+        if masks is None:
+            pairs = self._arrival_subset_pairs(eligible)
+        else:
+            pairs = tuple((mask, self.indices_of_mask(mask)) for mask in masks)
+
+        ev_recovered = recovered << self._ev_recovered_shift
+        occ_shift = self._occ_shift
+        buf_shift = self._buf_shift
+        ev_admitted_shift = self._ev_admitted_shift
+        ev_granted_shift = self._ev_granted_shift
+        ev_preempted_shift = self._ev_preempted_shift
+        ev_released_shift = self._ev_released_shift
+        results: List[Tuple[int, int, int]] = []
+        for amask, arrivals in pairs:
+
+            # Merge the arrivals into the slack-ordered buffer, mirroring the
+            # arbiter's stable insertion (arrivals carry wait 0, so their
+            # slack is the full maximum wait).
+            if buffer0 is not None:
+                buf = list(buffer0)
+                for a in arrivals:
+                    slack = infos[a][11]
+                    position = 0
+                    for queued in buf:
+                        if infos[queued][11] <= slack:
+                            position += 1
+                        else:
+                            break
+                    buf.insert(position, a)
+            elif arrivals:
+                buf = list(arrivals)
+                if len(buf) > 1:
+                    buf.sort(key=lambda a: infos[a][11])
+            else:
+                buf = []
+
+            app_bits = base_bits
+            next_occupant = occupant
+            released_i = -1
+            preempted_i = -1
+            if occ_info is not None:
+                if occ_info[4]:
+                    next_occupant = -1
+                    released_i = occupant
+                    app_bits ^= occ_info[6]
+                elif occ_info[5] and buf:
+                    next_occupant = -1
+                    preempted_i = occupant
+                    app_bits ^= occ_info[6]
+
+            granted = -1
+            if next_occupant < 0 and buf:
+                granted = buf.pop(0)
+                next_occupant = granted
+
+            miss_mask = 0
+            for a in arrivals:
+                if a != granted:
+                    app_bits ^= infos[a][7]
+            if granted >= 0:
+                ginfo = infos[granted]
+                if (amask >> granted) & 1:
+                    app_bits ^= ginfo[8]
+                else:
+                    app_bits ^= ginfo[9]
+                    miss_mask |= ginfo[10]
+            for queued in buf:
+                miss_mask |= infos[queued][10]
+
+            next_buffer_mask = buffer_mask | amask
+            if granted >= 0:
+                next_buffer_mask &= ~(1 << granted)
+
+            succ = (
+                app_bits
+                | ((next_occupant + 1) << occ_shift)
+                | (next_buffer_mask << buf_shift)
+            )
+            event_bits = (
+                miss_mask
+                | ev_recovered
+                | (amask << ev_admitted_shift)
+                | ((granted + 1) << ev_granted_shift)
+                | ((preempted_i + 1) << ev_preempted_shift)
+                | ((released_i + 1) << ev_released_shift)
+            )
+            results.append((amask, succ, event_bits))
+        return tuple(results)
+
+
+def advance_packed(
+    config: SlotSystemConfig, packed: int, arrival_mask: int = 0
+) -> Tuple[int, int]:
+    """Module-level convenience mirror of :meth:`PackedSlotSystem.advance_packed`.
+
+    Builds (and caches) one :class:`PackedSlotSystem` per configuration; for
+    hot loops construct the system once and call its methods directly.
+    """
+    return packed_system_for(config).advance_packed(packed, arrival_mask)
+
+
+_SYSTEM_CACHE: Dict[SlotSystemConfig, PackedSlotSystem] = {}
+
+
+def packed_system_for(config: SlotSystemConfig) -> PackedSlotSystem:
+    """Shared :class:`PackedSlotSystem` instance for a configuration."""
+    system = _SYSTEM_CACHE.pop(config, None)
+    if system is None:
+        while len(_SYSTEM_CACHE) >= 16:
+            # LRU eviction: drop the least-recently-used system (and its
+            # successor memo) so hot configurations survive one-off probes.
+            _SYSTEM_CACHE.pop(next(iter(_SYSTEM_CACHE)))
+        system = PackedSlotSystem(config)
+    # (Re-)inserting moves the entry to the most-recently-used position.
+    _SYSTEM_CACHE[config] = system
+    return system
+
+
+def clear_packed_caches() -> None:
+    """Release every shared packed system and its successor memo.
+
+    The shared caches trade memory for cross-run speed (see
+    :meth:`PackedSlotSystem.clear_memo`); long-lived processes that are done
+    verifying can call this to return to a cold baseline.
+    """
+    for system in _SYSTEM_CACHE.values():
+        system.clear_memo()
+    _SYSTEM_CACHE.clear()

@@ -24,14 +24,8 @@ from ..control.simulation import ClosedLoopSimulator, ClosedLoopTrajectory
 from ..exceptions import SchedulingError
 from ..switching.modes import Mode, mode_sequence_from_grants
 from ..switching.profile import SwitchingProfile
-from .slot_system import (
-    NO_OCCUPANT,
-    SlotSystemConfig,
-    SlotSystemState,
-    StepEvents,
-    advance,
-    initial_state,
-)
+from .packed import packed_system_for
+from .slot_system import NO_OCCUPANT, SlotSystemConfig, advance
 
 
 @dataclass(frozen=True)
@@ -130,7 +124,15 @@ class SlotScheduleSimulator:
         for event in trace:
             arrivals_by_sample.setdefault(event.sample, []).append(self.config.index_of(event.application))
 
-        state = initial_state(self.config)
+        # The trace is replayed on the packed transition system (integer
+        # arithmetic instead of tuple re-allocation).  Past the first
+        # deadline miss the replay switches to the tuple semantics: packed
+        # wait counters saturate instead of growing without bound, which
+        # deep in post-miss territory could reorder overdue waiters — the
+        # tuple path keeps infeasible replays exact sample by sample.
+        system = packed_system_for(self.config)
+        packed_state = system.initial
+        tuple_state = None
         occupancy: List[Optional[str]] = []
         grants: Dict[str, List[int]] = {name: [] for name in names}
         pending: Dict[int, Dict[str, int]] = {}
@@ -139,7 +141,17 @@ class SlotScheduleSimulator:
 
         for sample in range(horizon):
             arrivals = arrivals_by_sample.get(sample, ())
-            state, events = advance(self.config, state, arrivals)
+            if tuple_state is None:
+                packed_state, event_bits = system.advance_packed(
+                    packed_state, system.arrival_mask(arrivals)
+                )
+                events = system.events_from_bits(event_bits)
+                occupant = system.occupant_of(packed_state)
+                if events.deadline_misses:
+                    tuple_state = system.decode(packed_state)
+            else:
+                tuple_state, events = advance(self.config, tuple_state, arrivals)
+                occupant = tuple_state.occupant
 
             for index in events.admitted:
                 pending[index] = {"sensed_at": sample, "wait": None, "dwell": None}
@@ -182,10 +194,10 @@ class SlotScheduleSimulator:
                         )
                     )
 
-            if state.occupant == NO_OCCUPANT:
+            if occupant == NO_OCCUPANT:
                 occupancy.append(None)
             else:
-                occupant_name = names[state.occupant]
+                occupant_name = names[occupant]
                 occupancy.append(occupant_name)
                 grants[occupant_name].append(sample)
 

@@ -16,9 +16,12 @@ over immutable states:
   waiting application with the smallest slack.
 
 Both the deterministic trace simulator (:mod:`repro.scheduler.simulator`)
-and the exhaustive verification engine (:mod:`repro.verification`) are thin
-layers over this function, so simulation and verification can never drift
-apart semantically.
+and the exhaustive verification engine (:mod:`repro.verification`) follow
+this semantics.  Their hot paths run on the bit-packed mirror of this
+transition system (:mod:`repro.scheduler.packed`), which encodes a state as
+a single integer and is cross-checked against :func:`advance` exhaustively
+by the test suite — this module stays the readable single source of truth,
+and any semantic change made here must keep the packed transition in sync.
 
 Phase encoding per application (all counters in samples):
 

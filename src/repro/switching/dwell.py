@@ -110,13 +110,39 @@ class DwellTimeAnalyzer:
         ``None`` means the trajectory does not settle within the horizon.
         Results are memoised because the dwell search revisits patterns.
         """
-        horizon = max(horizon, wait + dwell + 50)
-        key = (wait, dwell, horizon)
+        key = self._normalize_key(wait, dwell, horizon)
         if key not in self._settling_cache:
-            trajectory = self.simulate_pattern(SwitchingPattern(wait, dwell), horizon)
+            self._settle_patterns([key])
+        return self._settling_cache[key]
+
+    @staticmethod
+    def _normalize_key(wait: int, dwell: int, horizon: int) -> Tuple[int, int, int]:
+        """Canonical cache key: the horizon always covers the pattern + margin."""
+        return (wait, dwell, max(horizon, wait + dwell + 50))
+
+    def _settle_patterns(self, patterns: Sequence[Tuple[int, int, int]]) -> None:
+        """Fill the settling cache for a batch of ``(wait, dwell, horizon)`` triples.
+
+        All uncached patterns are simulated in one :meth:`simulate_batch`
+        call on the shared simulator.  The patterns' schedules differ, so
+        the batch runs its per-instance path — the speed-up comes from the
+        per-mode closed-loop matrix powers being built once and reused
+        across the whole grid.
+        """
+        keys = [self._normalize_key(*pattern) for pattern in patterns]
+        missing = sorted({key for key in keys if key not in self._settling_cache})
+        if not missing:
+            return
+        sequences = [
+            SwitchingPattern(wait, dwell).to_mode_sequence(horizon)
+            for wait, dwell, horizon in missing
+        ]
+        trajectories = self.simulator.simulate_batch(
+            [self.disturbed_state] * len(missing), sequences
+        )
+        for key, trajectory in zip(missing, trajectories):
             result = trajectory.settling(threshold=self.config.settling_threshold)
             self._settling_cache[key] = result.samples if result.settled else None
-        return self._settling_cache[key]
 
     def settling_seconds(self, wait: int, dwell: int, horizon: Optional[int] = None) -> Optional[float]:
         """Settling time in seconds for a ``(wait, dwell)`` pattern."""
@@ -163,6 +189,13 @@ class DwellTimeAnalyzer:
         horizon_samples = horizon or self._horizon(50)
         needed = max(wait_values, default=0) + max(dwell_values, default=0)
         horizon_samples = max(horizon_samples, needed + 10)
+        self._settle_patterns(
+            [
+                (int(wait), int(dwell), horizon_samples)
+                for wait in wait_values
+                for dwell in dwell_values
+            ]
+        )
         surface = np.full((len(wait_values), len(dwell_values)), np.nan)
         for i, wait in enumerate(wait_values):
             for j, dwell in enumerate(dwell_values):
@@ -234,6 +267,9 @@ class DwellTimeAnalyzer:
         settling_at_min: Optional[int] = None
         best_settling: Optional[int] = None
 
+        self._settle_patterns(
+            [(wait, dwell, horizon) for dwell in range(0, self.config.max_dwell + 1)]
+        )
         settlings: Dict[int, Optional[int]] = {}
         for dwell in range(0, self.config.max_dwell + 1):
             samples = self.settling_samples(wait, dwell, horizon)

@@ -23,8 +23,8 @@ and by the timed-automata model builder to prune the state space.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Mapping, Sequence
+from functools import lru_cache
+from typing import Dict, Mapping, Sequence, Tuple
 
 from ..switching.profile import SwitchingProfile
 
@@ -73,12 +73,24 @@ def instance_budgets(
         Mapping from application name to the number of disturbance instances
         the accelerated model considers for it.
     """
+    return dict(_instance_budget_items(tuple(profiles), minimum))
+
+
+@lru_cache(maxsize=512)
+def _instance_budget_items(
+    profiles: Tuple[SwitchingProfile, ...], minimum: int
+) -> Tuple[Tuple[str, int], ...]:
+    """Memoized budget computation.
+
+    Profiles are immutable, and the dimensioning flow recomputes the budgets
+    of the same candidate sets over and over in its admission loop, so the
+    items are cached on the profile tuple (callers get a fresh dict).
+    """
     horizon = interference_horizon(profiles)
-    budgets: Dict[str, int] = {}
-    for profile in profiles:
-        instances = horizon // profile.min_inter_arrival + 1
-        budgets[profile.name] = max(minimum, instances)
-    return budgets
+    return tuple(
+        (profile.name, max(minimum, horizon // profile.min_inter_arrival + 1))
+        for profile in profiles
+    )
 
 
 def describe_budgets(budgets: Mapping[str, int]) -> str:

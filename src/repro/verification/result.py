@@ -1,12 +1,17 @@
-"""Result types for the control-performance verification front-ends."""
+"""Result types for the control-performance verification front-ends.
+
+Both dataclasses are frozen *and* slotted: dimensioning flows hold on to one
+result per admission test, so the per-instance ``__dict__`` would be pure
+overhead, and slots also catch accidental attribute writes.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CounterexampleStep:
     """One step of a counterexample trace.
 
@@ -23,7 +28,7 @@ class CounterexampleStep:
     missed: Tuple[str, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VerificationResult:
     """Outcome of verifying that a set of applications can share one TT slot.
 
@@ -62,11 +67,17 @@ class VerificationResult:
                 return budget
         return None
 
+    @property
+    def states_per_second(self) -> float:
+        """Exploration throughput (states per wall-clock second)."""
+        return self.explored_states / max(self.elapsed_seconds, 1e-9)
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         verdict = "FEASIBLE" if self.feasible else "INFEASIBLE"
         status = " (truncated)" if self.truncated else ""
         return (
             f"{verdict}{status}: {{{', '.join(self.applications)}}} on one slot "
-            f"[{self.method}, {self.explored_states} states, {self.elapsed_seconds:.2f}s]"
+            f"[{self.method}, {self.explored_states} states, {self.elapsed_seconds:.2f}s, "
+            f"{self.states_per_second:,.0f} states/s]"
         )

@@ -1,0 +1,115 @@
+"""Tests for the vectorized closed-loop simulation paths.
+
+`simulate_mode_sequence` now evaluates runs of same-mode samples with cached
+closed-loop matrix powers; `simulate_batch` evaluates many instances in one
+shot.  Both must agree with the sample-by-sample `step` semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+
+
+def _stepwise_reference(simulator, initial_state, modes):
+    """Sample-by-sample reference using the public `step` semantics."""
+    n = simulator.plant.state_dimension
+    m = simulator.plant.input_dimension
+    x = np.asarray(initial_state, dtype=float).reshape(n)
+    pending = np.zeros(m)
+    states = [x]
+    inputs = []
+    for mode in modes:
+        if mode == simulator.TT:
+            applied = -(simulator.tt_gain @ x)
+            next_pending = applied
+        else:
+            applied = pending
+            next_pending = simulator.compute_command(x, applied, simulator.ET)
+        inputs.append(applied)
+        x = simulator.plant.phi @ x + simulator.plant.gamma @ applied
+        states.append(x)
+        pending = next_pending
+    return np.array(states), np.array(inputs)
+
+
+class TestVectorizedModeSequence:
+    @pytest.mark.parametrize(
+        "modes",
+        [
+            ["TT"] * 40,
+            ["ET"] * 40,
+            ["ET"] * 4 + ["TT"] * 4 + ["ET"] * 52,
+            ["TT", "ET", "TT", "ET", "TT"],
+        ],
+    )
+    def test_matches_stepwise_semantics(self, servo_simulator, servo_disturbed_state, modes):
+        trajectory = servo_simulator.simulate_mode_sequence(servo_disturbed_state, modes)
+        states, inputs = _stepwise_reference(servo_simulator, servo_disturbed_state, modes)
+        assert np.allclose(trajectory.states, states, atol=1e-9)
+        assert np.allclose(trajectory.inputs, inputs, atol=1e-9)
+
+    def test_power_cache_is_reused_across_calls(self, servo_simulator, servo_disturbed_state):
+        first = servo_simulator.simulate_mode_sequence(servo_disturbed_state, ["ET"] * 30)
+        second = servo_simulator.simulate_mode_sequence(servo_disturbed_state, ["ET"] * 30)
+        assert np.array_equal(first.states, second.states)
+
+    def test_closed_loop_matrix_unknown_mode(self, servo_simulator):
+        with pytest.raises(SimulationError):
+            servo_simulator.closed_loop_matrix("XX")
+
+    def test_empty_sequence(self, servo_simulator, servo_disturbed_state):
+        trajectory = servo_simulator.simulate_mode_sequence(servo_disturbed_state, [])
+        assert trajectory.states.shape[0] == 1
+        assert trajectory.inputs.shape[0] == 0
+
+
+class TestSimulateBatch:
+    def test_shared_sequence_matches_single_runs(self, servo_simulator):
+        rng = np.random.default_rng(7)
+        initial_states = rng.standard_normal((5, 3))
+        modes = ["ET"] * 3 + ["TT"] * 5 + ["ET"] * 20
+        batch = servo_simulator.simulate_batch(initial_states, modes)
+        assert len(batch) == 5
+        for state, trajectory in zip(initial_states, batch):
+            single = servo_simulator.simulate_mode_sequence(state, modes)
+            assert np.allclose(trajectory.states, single.states, atol=1e-12)
+            assert np.allclose(trajectory.inputs, single.inputs, atol=1e-12)
+            assert trajectory.modes == single.modes
+
+    def test_per_instance_sequences(self, servo_simulator):
+        rng = np.random.default_rng(11)
+        initial_states = rng.standard_normal((3, 3))
+        sequences = [["TT"] * 10, ["ET"] * 15, ["ET"] * 2 + ["TT"] * 3 + ["ET"] * 4]
+        batch = servo_simulator.simulate_batch(initial_states, sequences)
+        for state, modes, trajectory in zip(initial_states, sequences, batch):
+            single = servo_simulator.simulate_mode_sequence(state, modes)
+            assert np.allclose(trajectory.states, single.states)
+
+    def test_previous_inputs_are_honoured(self, servo_simulator, servo_disturbed_state):
+        modes = ["ET"] * 10
+        held = np.array([0.5])
+        batch = servo_simulator.simulate_batch(
+            [servo_disturbed_state], modes, initial_previous_inputs=[held]
+        )
+        single = servo_simulator.simulate_mode_sequence(
+            servo_disturbed_state, modes, initial_previous_input=held
+        )
+        assert np.allclose(batch[0].states, single.states, atol=1e-12)
+        assert batch[0].inputs[0] == pytest.approx(0.5)
+
+    def test_mismatched_lengths_rejected(self, servo_simulator, servo_disturbed_state):
+        with pytest.raises(SimulationError):
+            servo_simulator.simulate_batch(
+                [servo_disturbed_state, servo_disturbed_state], [["TT"] * 4]
+            )
+        with pytest.raises(SimulationError):
+            servo_simulator.simulate_batch(
+                [servo_disturbed_state], ["TT"] * 4, initial_previous_inputs=[[0.0], [0.0]]
+            )
+
+    def test_unknown_mode_rejected(self, servo_simulator, servo_disturbed_state):
+        with pytest.raises(SimulationError):
+            servo_simulator.simulate_batch([servo_disturbed_state], ["TT", "XX"])
