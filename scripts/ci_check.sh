@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests plus the benchmark regression gate.
+#
+# Runs the full test suite, exports a fresh pytest-benchmark JSON and diffs
+# it against the committed baseline (benchmarks/baselines/baseline.json)
+# with scripts/bench_compare.py.  Exits non-zero when a test fails or when
+# any benchmark of the gated groups regresses beyond the threshold.
+#
+# Environment knobs:
+#   BENCH_THRESHOLD  maximum tolerated relative slowdown (default 0.35 —
+#                    looser than bench_compare's 0.20 default because the
+#                    committed baseline was recorded on a different host).
+#   BENCH_GROUPS     space-separated benchmark groups to gate on
+#                    (default: "verification engines").
+#   BENCH_JSON       where to write the fresh export (default: a temp file).
+#   SKIP_TESTS=1     only run the benchmark gate (e.g. after a test-only CI
+#                    stage already ran the suite).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+BASELINE="benchmarks/baselines/baseline.json"
+THRESHOLD="${BENCH_THRESHOLD:-0.35}"
+# (Not named GROUPS: that is a readonly bash builtin.)
+GATE_GROUPS=(${BENCH_GROUPS:-verification engines})
+CURRENT="${BENCH_JSON:-$(mktemp /tmp/bench-current.XXXXXX.json)}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "error: committed baseline $BASELINE is missing" >&2
+    exit 2
+fi
+
+if [[ "${SKIP_TESTS:-0}" != "1" ]]; then
+    echo "== tier-1 tests =="
+    python -m pytest tests -x -q
+fi
+
+echo "== benchmarks =="
+python -m pytest benchmarks -q --benchmark-json="$CURRENT"
+
+echo "== regression gate (threshold ${THRESHOLD}) =="
+GROUP_ARGS=()
+for group in "${GATE_GROUPS[@]}"; do
+    GROUP_ARGS+=(--group "$group")
+done
+python scripts/bench_compare.py "$BASELINE" "$CURRENT" \
+    "${GROUP_ARGS[@]}" --threshold "$THRESHOLD"

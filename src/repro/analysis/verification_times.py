@@ -66,20 +66,31 @@ def acceleration_comparison(
     names: Sequence[str] = ("C1", "C5", "C4", "C3"),
     profiles: Optional[Mapping[str, SwitchingProfile]] = None,
     max_states: int = 20_000_000,
+    engine: object = None,
 ) -> AccelerationComparison:
     """Compare unbounded and accelerated verification on one slot configuration.
 
     The default configuration is the paper's hardest instance (slot S1).
+    Both verifications run on the same exploration engine (``engine`` spec,
+    default ``"auto"``) so the comparison isolates the acceleration effect.
     """
     profiles = profiles or paper_profiles()
     slot_profiles = [profiles[name] for name in names]
 
     unbounded = verify_slot_sharing(
-        slot_profiles, instance_budget=None, with_counterexample=False, max_states=max_states
+        slot_profiles,
+        instance_budget=None,
+        with_counterexample=False,
+        max_states=max_states,
+        engine=engine,
     )
     budgets = instance_budgets(slot_profiles)
     accelerated = verify_slot_sharing(
-        slot_profiles, instance_budget=budgets, with_counterexample=False, max_states=max_states
+        slot_profiles,
+        instance_budget=budgets,
+        with_counterexample=False,
+        max_states=max_states,
+        engine=engine,
     )
     state_reduction = unbounded.explored_states / max(accelerated.explored_states, 1)
     speedup = unbounded.elapsed_seconds / max(accelerated.elapsed_seconds, 1e-9)

@@ -102,6 +102,7 @@ def paper_sort_order(profiles: Mapping[str, SwitchingProfile]) -> List[str]:
 def default_admission_test(
     max_states: Optional[int] = None,
     use_acceleration: bool = True,
+    engine: object = None,
 ) -> AdmissionTest:
     """Admission test backed by the exhaustive verifier.
 
@@ -114,6 +115,12 @@ def default_admission_test(
         max_states: optional exploration cap forwarded to the verifier.
         use_acceleration: whether to bound disturbance instances with the
             budgets of :func:`repro.verification.acceleration.instance_budgets`.
+        engine: exploration-engine spec or instance forwarded to the
+            verifier (see :func:`repro.verification.engine.resolve_engine`);
+            on complete (non-truncated) explorations the verdict is
+            engine-independent, only the wall-clock changes.  (Truncated
+            runs raise ``MappingError`` below, so the memoized verdicts are
+            always engine-independent.)
     """
     verdicts: Dict[Tuple[SwitchingProfile, ...], bool] = {}
 
@@ -127,7 +134,11 @@ def default_admission_test(
         if max_states is not None:
             kwargs["max_states"] = max_states
         result: VerificationResult = verify_slot_sharing(
-            profiles, instance_budget=budget, with_counterexample=False, **kwargs
+            profiles,
+            instance_budget=budget,
+            with_counterexample=False,
+            engine=engine,
+            **kwargs,
         )
         if result.truncated:
             raise MappingError(
@@ -147,17 +158,20 @@ class FirstFitDimensioner:
         profiles: switching profiles keyed by application name.
         admission_test: callable deciding whether a set of profiles may share
             one slot; defaults to the exhaustive verifier with acceleration.
+        engine: exploration-engine spec forwarded to the default admission
+            test (ignored when an explicit ``admission_test`` is given).
     """
 
     def __init__(
         self,
         profiles: Mapping[str, SwitchingProfile],
         admission_test: Optional[AdmissionTest] = None,
+        engine: object = None,
     ) -> None:
         if not profiles:
             raise MappingError("at least one application profile is required")
         self.profiles: Dict[str, SwitchingProfile] = dict(profiles)
-        self.admission_test = admission_test or default_admission_test()
+        self.admission_test = admission_test or default_admission_test(engine=engine)
 
     def dimension(self, order: Optional[Sequence[str]] = None) -> DimensioningOutcome:
         """Run the first-fit flow and return the slot partition.
@@ -215,6 +229,7 @@ def dimension_with_verification(
     profiles: Mapping[str, SwitchingProfile],
     order: Optional[Sequence[str]] = None,
     admission_test: Optional[AdmissionTest] = None,
+    engine: object = None,
 ) -> DimensioningOutcome:
     """Convenience wrapper: first-fit dimensioning with the default verifier."""
-    return FirstFitDimensioner(profiles, admission_test).dimension(order)
+    return FirstFitDimensioner(profiles, admission_test, engine=engine).dimension(order)

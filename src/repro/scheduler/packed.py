@@ -129,6 +129,8 @@ class PackedSlotSystem:
         self._buf_shift = shift + occ_bits
         self._buf_field = (1 << n) - 1
         self.state_bits = self._buf_shift + n
+        #: ``uint64`` words needed to hold one packed state (vectorized engine).
+        self.packed_words = max((self.state_bits + 63) // 64, 1)
 
         # ---- event bit-field layout ---------------------------------------
         self.miss_field = (1 << n) - 1
@@ -150,6 +152,9 @@ class PackedSlotSystem:
         self._subset_cache: Dict[int, Tuple[Tuple[int, Tuple[int, ...]], ...]] = {}
         self._indices_cache: Dict[int, Tuple[int, ...]] = {}
         self._successor_memo: Dict[int, Tuple[Tuple[int, int, int], ...]] = {}
+        # Per-state numpy successor rows for `successor_tables` (vectorized
+        # engine); same retention policy as the successor memo.
+        self._table_memo: Dict[int, tuple] = {}
         self.initial = self.encode(initial_state(config))
 
     # ------------------------------------------------------------- encoding
@@ -370,6 +375,123 @@ class PackedSlotSystem:
                 self._successor_memo[packed] = cached
         return cached
 
+    # ------------------------------------------------------- table export
+    def estimated_state_count(self) -> int:
+        """Cheap upper-bound estimate of the reachable state-space size.
+
+        Product of the per-application phase-space capacities times the
+        occupant and buffer-mask ranges.  Used by the engine auto-selection
+        to decide whether parallel exploration is worth its setup cost; the
+        estimate over-counts (most combinations are unreachable) but orders
+        configurations correctly.
+        """
+        total = self._n + 1  # occupant
+        total *= 1 << self._n  # buffer member mask
+        for i in range(self._n):
+            phases = (
+                1  # Steady
+                + self._max_wait[i] + 2  # Waiting incl. the miss value
+                + (self._max_wait[i] + 1) * max(self._max_dwell[i])  # Holding
+                + max(self._inter_arrival[i] - 1, 0)  # ET_Safe recovery
+                + 1  # Done
+            )
+            budget = self._budget[i]
+            total *= phases * ((budget + 1) if budget is not None else 1)
+        return total
+
+    def pack_words(self, states: Sequence[int]):
+        """Split packed states into ``uint64`` word rows (most significant
+        word first, so lexicographic row order equals numeric order).
+
+        Returns an ``(len(states), packed_words)`` ``numpy.uint64`` array.
+        """
+        import numpy as np
+
+        words = self.packed_words
+        mask = (1 << 64) - 1
+        matrix = np.empty((len(states), words), dtype=np.uint64)
+        for row, state in enumerate(states):
+            for j in range(words):
+                matrix[row, j] = (state >> (64 * (words - 1 - j))) & mask
+        return matrix
+
+    def successor_tables(self, states: Sequence[int]):
+        """Export the successor lists of a state batch as numpy tables.
+
+        The workhorse of the vectorized exploration engine: for one BFS
+        level it returns ``(indptr, successors, masks, miss)`` where
+
+        * ``indptr`` (``int64``, ``len(states) + 1``) delimits each state's
+          successor rows CSR-style,
+        * ``successors`` (``uint64``, ``(transitions, packed_words)``) holds
+          the packed successor states as word rows (see :meth:`pack_words`),
+        * ``masks`` (``uint64``) holds the arrival mask of each transition,
+        * ``miss`` (``bool``) flags transitions whose events contain a
+          deadline miss.
+
+        The per-state rows are memoized alongside the :meth:`successors`
+        lists (same ``memo_limit`` policy), so warm levels assemble with a
+        handful of ``concatenate`` calls instead of per-transition Python
+        work.
+        """
+        import numpy as np
+
+        words = self.packed_words
+        word_mask = (1 << 64) - 1
+        miss_field = self.miss_field
+        successors = self.successors
+        memo = self._table_memo
+        memo_limit = self._memo_limit
+
+        row_tables = []
+        for state in states:
+            state = int(state)
+            cached = memo.get(state)
+            if cached is None:
+                entries = successors(state)
+                count = len(entries)
+                if words == 1:
+                    succ_matrix = np.fromiter(
+                        (succ for _, succ, _ in entries), dtype=np.uint64, count=count
+                    ).reshape(count, 1)
+                else:
+                    succ_matrix = np.array(
+                        [
+                            tuple(
+                                (succ >> (64 * (words - 1 - j))) & word_mask
+                                for j in range(words)
+                            )
+                            for _, succ, _ in entries
+                        ],
+                        dtype=np.uint64,
+                    ).reshape(count, words)
+                cached = (
+                    succ_matrix,
+                    np.fromiter(
+                        (mask for mask, _, _ in entries), dtype=np.uint64, count=count
+                    ),
+                    np.fromiter(
+                        (bool(bits & miss_field) for _, _, bits in entries),
+                        dtype=bool,
+                        count=count,
+                    ),
+                )
+                if len(memo) < memo_limit:
+                    memo[state] = cached
+            row_tables.append(cached)
+
+        indptr = np.zeros(len(states) + 1, dtype=np.int64)
+        np.cumsum([table[1].shape[0] for table in row_tables], out=indptr[1:])
+        if row_tables:
+            succ_matrix = np.concatenate([table[0] for table in row_tables])
+            masks = np.concatenate([table[1] for table in row_tables])
+            miss = np.concatenate([table[2] for table in row_tables])
+        else:
+            succ_matrix = np.empty((0, words), dtype=np.uint64)
+            masks = np.empty(0, dtype=np.uint64)
+            miss = np.empty(0, dtype=bool)
+        return indptr, succ_matrix, masks, miss
+
     def clear_memo(self) -> None:
         """Drop the memoized successor table (frees memory after a search).
 
@@ -381,6 +503,7 @@ class PackedSlotSystem:
         to ``memo_limit`` entries.
         """
         self._successor_memo.clear()
+        self._table_memo.clear()
 
     def _block_info(self, index: int, block: int) -> tuple:
         """Precomputed one-step data for one application block value.

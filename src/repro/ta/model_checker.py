@@ -3,16 +3,22 @@
 The only query the paper needs is *reachability of an error location*:
 "the whole system is schedulable ... if no application reaches its Error
 state" (Sec. 4).  This module provides that query — plus generic
-predicate-reachability and invariant checking — via breadth-first search
-over the discrete-time network semantics of :mod:`repro.ta.network`.
+predicate-reachability and invariant checking — over the discrete-time
+network semantics of :mod:`repro.ta.network`.
+
+The search itself is delegated to the pluggable exploration engines of
+:mod:`repro.verification.engine`: the default sequential BFS reproduces the
+original deque-based loop state for state, and the sharded multi-process
+engine can be selected per checker (``engine=`` argument) or globally
+(``REPRO_VERIFICATION_ENGINE``).  The numpy-vectorized engine only applies
+to packed slot systems and is rejected for TA networks.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import VerificationError
 from .network import Network, NetworkState
@@ -56,11 +62,26 @@ class ReachabilityResult:
 
 
 class ModelChecker:
-    """Breadth-first explicit-state model checker for TA networks."""
+    """Breadth-first explicit-state model checker for TA networks.
 
-    def __init__(self, network: Network, max_states: int = DEFAULT_MAX_STATES) -> None:
+    Args:
+        network: the network to check.
+        max_states: exploration cap; exceeding it marks the result as
+            truncated.
+        engine: exploration-engine spec or instance (see
+            :func:`repro.verification.engine.resolve_engine`); ``None``
+            reads ``REPRO_VERIFICATION_ENGINE`` and defaults to ``"auto"``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        max_states: int = DEFAULT_MAX_STATES,
+        engine: object = None,
+    ) -> None:
         self.network = network
         self.max_states = int(max_states)
+        self.engine = engine
 
     # ---------------------------------------------------------------- queries
     def reachable(
@@ -69,6 +90,10 @@ class ModelChecker:
         with_trace: bool = True,
     ) -> ReachabilityResult:
         """Is some state satisfying ``predicate`` reachable from the initial state?"""
+        # Imported lazily: repro.verification imports repro.ta at module
+        # load, so the reverse import must wait until both are initialised.
+        from ..verification.engine import GenericSource, resolve_engine
+
         start = time.perf_counter()
         network = self.network
         root = network.initial_state()
@@ -76,42 +101,26 @@ class ModelChecker:
         if predicate(network, root):
             return ReachabilityResult(True, 1, time.perf_counter() - start, ())
 
-        visited = {root}
-        queue = deque([root])
-        parents: Dict[NetworkState, Tuple[Optional[NetworkState], str]] = {root: (None, "")}
-        truncated = False
-        found: Optional[NetworkState] = None
-
-        while queue:
-            state = queue.popleft()
-            for successor, label in network.successors(state):
-                if successor in visited:
-                    continue
-                visited.add(successor)
-                if with_trace:
-                    parents[successor] = (state, label)
-                if predicate(network, successor):
-                    found = successor
-                    queue.clear()
-                    break
-                queue.append(successor)
-                if len(visited) >= self.max_states:
-                    truncated = True
-                    queue.clear()
-                    break
-            if found is not None or truncated:
-                break
+        source = GenericSource(
+            initial=root,
+            successors=network.successors,
+            is_error=lambda state: predicate(network, state),
+        )
+        engine = resolve_engine(self.engine, source=source)
+        outcome = engine.explore(
+            source, max_states=self.max_states, with_parents=with_trace
+        )
 
         elapsed = time.perf_counter() - start
         trace: Tuple[TraceStep, ...] = ()
-        if found is not None and with_trace:
-            trace = self._build_trace(parents, found)
+        if outcome.error_found and with_trace and outcome.parents is not None:
+            trace = self._build_trace(outcome.parents, outcome.error_state)
         return ReachabilityResult(
-            reachable=found is not None,
-            explored_states=len(visited),
+            reachable=outcome.error_found,
+            explored_states=outcome.visited_count,
             elapsed_seconds=elapsed,
             trace=trace,
-            truncated=truncated,
+            truncated=outcome.truncated,
         )
 
     def invariant_holds(self, predicate: StatePredicate) -> ReachabilityResult:
@@ -139,15 +148,13 @@ class ModelChecker:
     # --------------------------------------------------------------- internals
     def _build_trace(
         self,
-        parents: Dict[NetworkState, Tuple[Optional[NetworkState], str]],
+        parents: Dict[NetworkState, Tuple[NetworkState, str]],
         target: NetworkState,
     ) -> Tuple[TraceStep, ...]:
         steps: List[TraceStep] = []
         cursor: Optional[NetworkState] = target
-        while cursor is not None:
+        while cursor is not None and cursor in parents:
             parent, label = parents[cursor]
-            if parent is None:
-                break
             steps.append(TraceStep(label=label, state=cursor))
             cursor = parent
         steps.reverse()

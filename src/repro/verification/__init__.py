@@ -1,9 +1,61 @@
 """Control-performance verification: the exhaustive shared-slot verifier,
-the timed-automata models of Figs. 5-7 and the verification acceleration
-of Sec. 5."""
+the timed-automata models of Figs. 5-7, the verification acceleration of
+Sec. 5 and the pluggable exploration engines the searches run on.
+
+Engine selection
+----------------
+
+Every reachability search in this package (and in
+:mod:`repro.ta.model_checker`) runs on a pluggable exploration engine from
+:mod:`repro.verification.engine`.  Three engines exist:
+
+* ``"sequential"`` — :class:`~repro.verification.engine.SequentialPackedEngine`,
+  the frontier-batched single-process BFS.  Lowest constant factor, fully
+  deterministic, the reference implementation.
+* ``"sharded"`` / ``"sharded:N"`` —
+  :class:`~repro.verification.engine.ShardedEngine`, a level-synchronous
+  multi-process BFS that partitions the visited set by state hash across
+  ``N`` workers (default: one per usable core) and exchanges cross-shard
+  successors once per BFS level.  Scales verification across cores for
+  large products; pure overhead on a single-core host or for small state
+  spaces.
+* ``"vectorized"`` — :class:`~repro.verification.engine.VectorizedEngine`,
+  numpy ``uint64`` frontiers over the packed integer states, driven by the
+  successor tables exported by
+  :meth:`repro.scheduler.packed.PackedSlotSystem.successor_tables`.  Packed
+  slot systems only.
+
+Selection is per call site (``engine=`` argument on
+:class:`ExhaustiveVerifier`, :func:`verify_slot_sharing`,
+:class:`repro.ta.model_checker.ModelChecker`,
+:func:`repro.dimensioning.first_fit.default_admission_test` and
+:func:`repro.analysis.verification_times.acceleration_comparison`) or global
+through the ``REPRO_VERIFICATION_ENGINE`` environment variable.  The default
+``"auto"`` picks the sharded engine for packed systems whose estimated state
+space is large when more than one core is usable, and the sequential engine
+otherwise.  All engines explore the identical state space — identical
+visited counts on feasible instances and, on every *complete* (non-
+truncated) run, identical verdicts and witness depths.  A run truncated by
+``max_states`` only vouches for the part it explored, and the engines cap
+at slightly different points within a BFS level, so truncated verdicts can
+legitimately differ (see the module docstring of
+:mod:`repro.verification.engine` for the exact guarantees).
+"""
 
 from .acceleration import busy_window, describe_budgets, instance_budgets, interference_horizon
 from .automata import NO_APP, SlotSharingModelBuilder, verify_with_model_checker
+from .engine import (
+    ENGINE_ENV_VAR,
+    ExplorationEngine,
+    ExplorationOutcome,
+    GenericSource,
+    PackedStateSource,
+    SequentialPackedEngine,
+    ShardedEngine,
+    VectorizedEngine,
+    available_worker_count,
+    resolve_engine,
+)
 from .exhaustive import DEFAULT_MAX_STATES, ExhaustiveVerifier, verify_slot_sharing
 from .result import CounterexampleStep, VerificationResult
 
@@ -20,4 +72,14 @@ __all__ = [
     "interference_horizon",
     "instance_budgets",
     "describe_budgets",
+    "ExplorationEngine",
+    "ExplorationOutcome",
+    "SequentialPackedEngine",
+    "ShardedEngine",
+    "VectorizedEngine",
+    "PackedStateSource",
+    "GenericSource",
+    "resolve_engine",
+    "available_worker_count",
+    "ENGINE_ENV_VAR",
 ]

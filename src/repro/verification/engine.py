@@ -1,0 +1,785 @@
+"""Pluggable exploration engines for the feasibility query.
+
+Every verification front-end in this code base — the exhaustive shared-slot
+verifier (:mod:`repro.verification.exhaustive`), the timed-automata model
+checker (:mod:`repro.ta.model_checker`) and, through them, the
+resource-dimensioning flow — answers the same reachability question: *is an
+error transition reachable from the initial state?*  This module factors the
+search itself out of the callers so that new exploration strategies (more
+cores, vectorized frontiers, disk-backed visited sets, distributed sharding)
+drop in as new engines instead of rewrites.
+
+The pieces:
+
+* :class:`TransitionSource` — the minimal interface an engine explores: an
+  ``initial`` state plus ``transitions(state) -> [(label, successor,
+  is_error), ...]``.  Two adapters are provided:
+  :class:`PackedStateSource` wraps a
+  :class:`~repro.scheduler.packed.PackedSlotSystem` (states are packed ints,
+  labels are arrival masks, a deadline miss is an error) and
+  :class:`GenericSource` wraps any successor function over hashable states
+  (used by the TA model checker, where the "error" is a state predicate).
+* :class:`ExplorationOutcome` — visited count, truncation flag, error
+  witness (parent state + label + error state) and the predecessor store
+  needed to rebuild shortest counterexample traces.
+* Three engines:
+
+  - :class:`SequentialPackedEngine` — the frontier-batched BFS loop of the
+    original verifier, extracted.  Deterministic, lowest constant factor,
+    the reference implementation.
+  - :class:`ShardedEngine` — level-synchronous multi-process BFS.  The
+    state space is partitioned by state hash across worker processes; each
+    worker owns the visited shard for its partition, expands the states it
+    owns and exchanges cross-shard successors with the coordinator once per
+    BFS level.
+  - :class:`VectorizedEngine` — numpy frontiers over the packed integer
+    states.  Successor tables are exported per level from the packed system
+    (:meth:`~repro.scheduler.packed.PackedSlotSystem.successor_tables`) and
+    the per-level deduplication — the dominant set work of the BFS — runs as
+    vectorized ``unique``/``searchsorted`` over ``uint64`` word columns.
+
+* :func:`resolve_engine` — turns a spec string (``"auto"``,
+  ``"sequential"``, ``"sharded[:N]"``, ``"vectorized"``), the
+  ``REPRO_VERIFICATION_ENGINE`` environment variable or an engine instance
+  into an engine, picking sharded for large products when several cores are
+  available.
+
+Semantics shared by all engines
+-------------------------------
+
+All engines explore the same breadth-first level structure, so on a
+*feasible* (error-free) state space every engine reports the identical
+visited count, and on an infeasible one every engine finds an error at the
+same minimal BFS depth (witness traces have identical length).  The engines
+differ only in *when inside a level* they stop:
+
+* the sequential engine stops at the first error transition in discovery
+  order (matching the original verifier state counts exactly);
+* the sharded and vectorized engines finish the level they are expanding
+  (that is what makes their counts deterministic regardless of worker
+  interleaving) and report a deterministically chosen error of that level,
+  so their visited counts on infeasible instances can differ from the
+  sequential engine's — the verdict and the witness depth never do.
+
+Truncation: every engine keeps the visited set within ``max_states``.  The
+sequential engine stops at exactly the cap mid-level; the sharded and
+vectorized engines trim the candidates of the level that would cross the
+cap, so they may stop slightly below it (still deterministically).  Because
+the engines cap at different points within a level, a *truncated* run's
+verdict only covers the part that engine explored — one engine may reach an
+error transition just beyond another's cutoff.  The equivalence guarantees
+above apply to complete runs.
+
+For packed sources the error is a property of the *transition* (a deadline
+miss) and the error successor is not counted as visited; for generic
+sources the error is a property of the *state* (the model checker's
+predicate) and the found state is counted, exactly like the original
+model-checker loop.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..exceptions import VerificationError
+
+#: States are hashable opaque values: packed ints for slot systems,
+#: ``NetworkState`` instances for timed-automata networks.
+State = Hashable
+
+#: Transition labels: arrival bit masks (int) or edge labels (str).
+Label = Hashable
+
+#: Environment variable overriding the default engine spec.
+ENGINE_ENV_VAR = "REPRO_VERIFICATION_ENGINE"
+
+#: ``auto`` picks the sharded engine when the packed system's estimated
+#: state space is at least this large (and more than one core is usable).
+#: Calibration: ``estimated_state_count`` heavily over-counts, and its
+#: inflation grows with the number of applications (measured on the case
+#: study: ~3.5e3x on 3-application slots, ~1.2e7x on 4-application slot S1,
+#: whose estimate is ~1.7e12 for 145,373 reachable states).  The bar is set
+#: two orders of magnitude above the S1 estimate so that everything up to
+#: S1 scale — where the sequential engine finishes in well under a second
+#: and per-level IPC dominates any parallel win — stays sequential, and
+#: only products far beyond the current benchmark surface (multi-million
+#: reachable states, minutes of sequential wall-clock) shard by default.
+AUTO_SHARD_THRESHOLD = 10**14
+
+
+def available_worker_count() -> int:
+    """Number of CPU cores usable by this process."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+# --------------------------------------------------------------------- sources
+@runtime_checkable
+class TransitionSource(Protocol):
+    """What an engine explores.
+
+    Two kinds exist, dispatched on the ``kind`` attribute: ``"packed"``
+    sources expose the underlying
+    :class:`~repro.scheduler.packed.PackedSlotSystem` as ``system`` (engines
+    run directly on its memoized successor tuples, where the *transition*
+    carries the error), and ``"generic"`` sources expose ``edges(state)``
+    plus an ``is_error`` *state* predicate that engines evaluate once per
+    newly visited state (never on the initial state — callers check the
+    root themselves, as the model checker does).
+    """
+
+    kind: str
+    initial: State
+
+
+class PackedStateSource:
+    """Adapter: a :class:`~repro.scheduler.packed.PackedSlotSystem` as a
+    transition source.  Labels are arrival masks; a transition is an error
+    exactly when its event bits contain a deadline miss."""
+
+    kind = "packed"
+
+    __slots__ = ("system", "initial")
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.initial = system.initial
+
+
+class GenericSource:
+    """Adapter for arbitrary successor functions over hashable states.
+
+    Args:
+        initial: the initial state.
+        successors: callable returning ``(successor, label)`` pairs — the
+            convention of :meth:`repro.ta.network.Network.successors`.
+        is_error: state predicate, evaluated by the engines once per newly
+            visited state; a state satisfying it ends the search.
+    """
+
+    kind = "generic"
+
+    __slots__ = ("initial", "edges", "is_error")
+
+    def __init__(
+        self,
+        initial: State,
+        successors: Callable[[State], Iterable[Tuple[State, Label]]],
+        is_error: Callable[[State], bool],
+    ) -> None:
+        self.initial = initial
+        self.edges = successors
+        self.is_error = is_error
+
+
+# -------------------------------------------------------------------- outcome
+@dataclass
+class ExplorationOutcome:
+    """Result of one exploration run.
+
+    Attributes:
+        engine: name of the engine that produced the outcome.
+        visited_count: number of distinct states in the visited set.
+        truncated: the search hit ``max_states`` before finishing.
+        error_found: an error transition was reached.
+        error_parent: source state of the error transition (``None`` when
+            feasible).
+        error_label: label (arrival mask / edge label) of the error
+            transition.
+        error_state: target state of the error transition.
+        levels: number of completed BFS levels.
+        parents: predecessor store ``successor -> (parent, label)`` kept
+            when the caller asked for witness traces; spans exactly the
+            visited states (plus, for generic sources, the error state).
+    """
+
+    engine: str
+    visited_count: int
+    truncated: bool
+    error_found: bool
+    error_parent: Optional[State] = None
+    error_label: Optional[Label] = None
+    error_state: Optional[State] = None
+    levels: int = 0
+    parents: Optional[Dict[State, Tuple[State, Label]]] = None
+
+    @property
+    def feasible(self) -> bool:
+        """No error transition was reachable (within the explored part)."""
+        return not self.error_found
+
+
+@runtime_checkable
+class ExplorationEngine(Protocol):
+    """Protocol every exploration engine implements."""
+
+    name: str
+
+    def explore(
+        self,
+        source: TransitionSource,
+        max_states: int,
+        with_parents: bool = True,
+    ) -> ExplorationOutcome:
+        """Run the reachability search up to ``max_states`` visited states."""
+        ...
+
+
+# ----------------------------------------------------------------- sequential
+class SequentialPackedEngine:
+    """The original frontier-batched BFS, extracted from the verifier.
+
+    Processes the frontier level by level in plain lists; on packed sources
+    the inner loop runs directly on the memoized successor tuples of the
+    packed system (no adapter allocation on the hot path).
+    """
+
+    name = "sequential"
+
+    def explore(
+        self,
+        source: TransitionSource,
+        max_states: int,
+        with_parents: bool = True,
+    ) -> ExplorationOutcome:
+        if getattr(source, "kind", "generic") == "packed":
+            return self._explore_packed(source, int(max_states), with_parents)
+        return self._explore_generic(source, int(max_states), with_parents)
+
+    def _explore_packed(
+        self, source: PackedStateSource, max_states: int, with_parents: bool
+    ) -> ExplorationOutcome:
+        system = source.system
+        successors = system.successors
+        miss_field = system.miss_field
+        root = source.initial
+
+        visited = {root}
+        frontier: List[int] = [root]
+        parents: Optional[Dict[int, Tuple[int, int]]] = {} if with_parents else None
+
+        truncated = False
+        levels = 0
+        error_parent = -1
+        error_mask = 0
+        error_state = -1
+
+        while frontier:
+            next_frontier: List[int] = []
+            for state in frontier:
+                for arrival_mask, succ, event_bits in successors(state):
+                    if event_bits & miss_field:
+                        error_parent = state
+                        error_mask = arrival_mask
+                        error_state = succ
+                        break
+                    if succ in visited:
+                        continue
+                    visited.add(succ)
+                    if parents is not None:
+                        parents[succ] = (state, arrival_mask)
+                    next_frontier.append(succ)
+                    if len(visited) >= max_states:
+                        truncated = True
+                        break
+                if error_parent >= 0 or truncated:
+                    next_frontier.clear()
+                    break
+            frontier = next_frontier
+            levels += 1
+
+        error_found = error_parent >= 0
+        return ExplorationOutcome(
+            engine=self.name,
+            visited_count=len(visited),
+            truncated=truncated,
+            error_found=error_found,
+            error_parent=error_parent if error_found else None,
+            error_label=error_mask if error_found else None,
+            error_state=error_state if error_found else None,
+            levels=levels,
+            parents=parents,
+        )
+
+    def _explore_generic(
+        self, source: TransitionSource, max_states: int, with_parents: bool
+    ) -> ExplorationOutcome:
+        root = source.initial
+        edges = source.edges
+        is_error = source.is_error
+
+        visited = {root}
+        frontier: List[State] = [root]
+        parents: Optional[Dict[State, Tuple[State, Label]]] = {} if with_parents else None
+
+        truncated = False
+        levels = 0
+        error: Optional[Tuple[State, Label, State]] = None
+
+        while frontier:
+            next_frontier: List[State] = []
+            for state in frontier:
+                for succ, label in edges(state):
+                    if succ in visited:
+                        continue
+                    visited.add(succ)
+                    if parents is not None:
+                        parents[succ] = (state, label)
+                    # The predicate runs once per newly visited state; the
+                    # found state is part of the witness and is counted
+                    # (mirrors the original model-checker loop).
+                    if is_error(succ):
+                        error = (state, label, succ)
+                        break
+                    next_frontier.append(succ)
+                    if len(visited) >= max_states:
+                        truncated = True
+                        break
+                if error is not None or truncated:
+                    next_frontier.clear()
+                    break
+            frontier = next_frontier
+            levels += 1
+
+        return ExplorationOutcome(
+            engine=self.name,
+            visited_count=len(visited),
+            truncated=truncated,
+            error_found=error is not None,
+            error_parent=error[0] if error else None,
+            error_label=error[1] if error else None,
+            error_state=error[2] if error else None,
+            levels=levels,
+            parents=parents,
+        )
+
+
+# -------------------------------------------------------------------- sharded
+def _shard_worker(source, worker_id: int, worker_count: int, conn) -> None:
+    """Worker loop of the sharded BFS (runs in a forked child process).
+
+    Owns the visited shard ``{s : hash(s) % worker_count == worker_id}``.
+    Per round it receives the candidate states routed to its shard, filters
+    them against the local visited set, expands the genuinely new ones and
+    returns the successor candidates bucketed by destination shard.
+
+    Error semantics mirror the sequential engine's: packed sources flag the
+    error on the *transition* during expansion (the miss successor is never
+    visited), generic sources evaluate the ``is_error`` state predicate once
+    per newly accepted state (never on the root, whose candidate carries no
+    parent).
+    """
+    packed = getattr(source, "kind", "generic") == "packed"
+    if packed:
+        system = source.system
+        successors = system.successors
+        miss_field = system.miss_field
+    else:
+        edges = source.edges
+        is_error = source.is_error
+
+    visited = set()
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, candidates, with_parents = message
+            accepted: List[Tuple[State, State, Label]] = []
+            new_states: List[State] = []
+            errors: List[Tuple[State, Label, State]] = []
+            for candidate in candidates:
+                state, parent, label = candidate
+                if state in visited:
+                    continue
+                visited.add(state)
+                if with_parents:
+                    accepted.append(candidate)
+                if not packed and parent is not None and is_error(state):
+                    errors.append((parent, label, state))
+                    continue  # an error state is counted but not expanded
+                new_states.append(state)
+
+            buckets: List[List[Tuple]] = [[] for _ in range(worker_count)]
+            new_count = len(new_states) + len(errors)
+            for state in new_states:
+                if packed:
+                    for mask, succ, bits in successors(state):
+                        if bits & miss_field:
+                            errors.append((state, mask, succ))
+                        else:
+                            buckets[hash(succ) % worker_count].append(
+                                (succ, state, mask)
+                            )
+                else:
+                    for succ, label in edges(state):
+                        buckets[hash(succ) % worker_count].append(
+                            (succ, state, label)
+                        )
+            conn.send(("done", new_count, accepted, errors, buckets))
+    except EOFError:  # pragma: no cover - coordinator died
+        pass
+    except Exception as error:  # pragma: no cover - surfaced by coordinator
+        import traceback
+
+        conn.send(("exception", f"{error}\n{traceback.format_exc()}"))
+    finally:
+        conn.close()
+
+
+class ShardedEngine:
+    """Level-synchronous multi-process BFS partitioned by state hash.
+
+    Worker ``i`` owns all states whose ``hash(state) % workers == i``: it
+    keeps that shard of the visited set and expands exactly the states it
+    owns, so both membership testing and successor expansion parallelise.
+    Once per BFS level the workers exchange the successors that crossed a
+    shard boundary through the coordinator ("frontier exchange").
+
+    Requires the ``fork`` start method (the transition source — including
+    closures inside TA networks — is inherited, never pickled); on platforms
+    without ``fork`` the engine transparently degrades to the sequential
+    engine.
+
+    Args:
+        workers: number of worker processes; defaults to the number of
+            usable cores (at least 2).
+    """
+
+    name = "sharded"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise VerificationError(f"worker count must be positive, got {workers}")
+        self.workers = workers
+
+    def _worker_count(self) -> int:
+        if self.workers is not None:
+            return self.workers
+        return max(available_worker_count(), 2)
+
+    def explore(
+        self,
+        source: TransitionSource,
+        max_states: int,
+        with_parents: bool = True,
+    ) -> ExplorationOutcome:
+        import multiprocessing
+
+        worker_count = self._worker_count()
+        if worker_count < 2 or "fork" not in multiprocessing.get_all_start_methods():
+            outcome = SequentialPackedEngine().explore(source, max_states, with_parents)
+            outcome.engine = self.name
+            return outcome
+
+        context = multiprocessing.get_context("fork")
+        connections = []
+        processes = []
+        try:
+            for worker_id in range(worker_count):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker,
+                    args=(source, worker_id, worker_count, child_conn),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                connections.append(parent_conn)
+                processes.append(process)
+            return self._coordinate(
+                source, connections, worker_count, int(max_states), with_parents
+            )
+        finally:
+            for conn in connections:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+                conn.close()
+            for process in processes:
+                process.join(timeout=10)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+
+    def _coordinate(
+        self, source, connections, worker_count, max_states, with_parents
+    ) -> ExplorationOutcome:
+        packed = getattr(source, "kind", "generic") == "packed"
+        root = source.initial
+        pending: List[List[Tuple]] = [[] for _ in range(worker_count)]
+        pending[hash(root) % worker_count].append((root, None, None))
+
+        parents: Optional[Dict[State, Tuple[State, Label]]] = {} if with_parents else None
+        visited_count = 0
+        levels = 0
+        truncated = False
+        error: Optional[Tuple[State, Label, State]] = None
+
+        while any(pending) and error is None and not truncated:
+            # One BFS level.  The candidate lists may contain duplicates and
+            # already-visited states (workers own the dedupe), so the state
+            # cap cannot be enforced by trimming candidates — instead the
+            # level is dispatched in sub-rounds of at most the remaining
+            # budget: workers accept at most what they are sent, keeping the
+            # visited set within max_states, and `truncated` is set only
+            # when the cap is actually reached with candidates still queued
+            # (matching the sequential engine's cap rule).
+            next_pending: List[List[Tuple]] = [[] for _ in range(worker_count)]
+            cursors = [0] * worker_count
+            while True:
+                left = sum(
+                    len(pending[w]) - cursors[w] for w in range(worker_count)
+                )
+                if left == 0:
+                    break
+                budget = max_states - visited_count
+                if budget <= 0:
+                    truncated = True
+                    break
+                batches: List[List[Tuple]] = []
+                for w in range(worker_count):
+                    take = min(len(pending[w]) - cursors[w], budget)
+                    batches.append(pending[w][cursors[w] : cursors[w] + take])
+                    cursors[w] += take
+                    budget -= take
+                for w, conn in enumerate(connections):
+                    conn.send(("expand", batches[w], with_parents))
+                round_errors: List[Tuple[State, Label, State]] = []
+                for conn in connections:
+                    reply = conn.recv()
+                    if reply[0] == "exception":
+                        raise VerificationError(
+                            f"sharded BFS worker failed: {reply[1]}"
+                        )
+                    _, new_count, accepted, errors, buckets = reply
+                    visited_count += new_count
+                    if parents is not None:
+                        for state, parent, label in accepted:
+                            if parent is not None:
+                                parents[state] = (parent, label)
+                    round_errors.extend(errors)
+                    for destination in range(worker_count):
+                        next_pending[destination].extend(buckets[destination])
+                if round_errors:
+                    # Deterministic witness choice: packed states and masks
+                    # are ints, so the minimal (parent, label) pair is well
+                    # defined and independent of worker interleaving.
+                    if packed:
+                        error = min(round_errors, key=lambda e: (e[0], e[1]))
+                    else:
+                        error = round_errors[0]
+                    break
+            levels += 1
+            pending = next_pending
+
+        return ExplorationOutcome(
+            engine=self.name,
+            visited_count=visited_count,
+            truncated=truncated,
+            error_found=error is not None,
+            error_parent=error[0] if error else None,
+            error_label=error[1] if error else None,
+            error_state=error[2] if error else None,
+            levels=levels,
+            parents=parents,
+        )
+
+
+# ----------------------------------------------------------------- vectorized
+class VectorizedEngine:
+    """Numpy-frontier BFS over packed integer states.
+
+    Each BFS level exports its successor tables from the packed system
+    (:meth:`~repro.scheduler.packed.PackedSlotSystem.successor_tables`) as
+    ``uint64`` word columns — states wider than 64 bits simply use several
+    words — and the per-level set work (deduplicating the successor multiset
+    and subtracting the visited set) runs as vectorized ``unique`` and
+    ``searchsorted`` over those columns instead of per-successor Python set
+    operations.  Only packed sources are supported.
+    """
+
+    name = "vectorized"
+
+    def explore(
+        self,
+        source: TransitionSource,
+        max_states: int,
+        with_parents: bool = True,
+    ) -> ExplorationOutcome:
+        if getattr(source, "kind", "generic") != "packed":
+            raise VerificationError(
+                "the vectorized engine requires a packed slot-system source; "
+                "use the sequential or sharded engine for generic state spaces"
+            )
+        import numpy as np
+
+        system = source.system
+        max_states = int(max_states)
+        words = system.packed_words
+        # Most-significant word first so the lexicographic order of the
+        # structured view matches the numeric order of the packed values.
+        void_dtype = np.dtype([(f"w{j}", np.uint64) for j in range(words)])
+
+        def to_void(word_matrix):
+            return np.ascontiguousarray(word_matrix).view(void_dtype).ravel()
+
+        def to_ints(void_values) -> List[int]:
+            if words == 1:
+                return void_values["w0"].tolist()
+            acc = void_values["w0"].astype(object)
+            for j in range(1, words):
+                acc = (acc << 64) | void_values[f"w{j}"].astype(object)
+            return acc.tolist()
+
+        root = source.initial
+        frontier: List[int] = [root]
+        visited = to_void(system.pack_words([root]))
+        visited_count = 1
+        parents: Optional[Dict[int, Tuple[int, int]]] = {} if with_parents else None
+        truncated = False
+        levels = 0
+        error: Optional[Tuple[int, int, int]] = None
+
+        while frontier:
+            indptr, succ_words, masks, miss = system.successor_tables(frontier)
+            levels += 1
+            if miss.any():
+                # Deterministic witness: the minimal (parent, mask) pair of
+                # this level, matching the sharded engine's choice.
+                rows = np.flatnonzero(miss)
+                parent_rows = np.searchsorted(indptr, rows, side="right") - 1
+                candidates = []
+                for row, parent_row in zip(rows.tolist(), parent_rows.tolist()):
+                    parent = frontier[parent_row]
+                    succ = to_ints(to_void(succ_words[row : row + 1]))[0]
+                    candidates.append((parent, int(masks[row]), succ))
+                error = min(candidates, key=lambda e: (e[0], e[1]))
+                break
+
+            candidates = to_void(succ_words)
+            if candidates.shape[0] == 0:
+                break
+            unique_values, first_rows = np.unique(candidates, return_index=True)
+            positions = np.searchsorted(visited, unique_values)
+            positions = np.minimum(positions, len(visited) - 1)
+            new_mask = visited[positions] != unique_values
+            new_values = unique_values[new_mask]
+            new_rows = first_rows[new_mask]
+            if new_values.shape[0] == 0:
+                break
+            # Enforce the state cap within the level so the visited set
+            # never outgrows max_states (unique values are sorted, so the
+            # kept prefix is deterministic).
+            remaining = max_states - visited_count
+            if new_values.shape[0] >= remaining:
+                truncated = True
+                new_values = new_values[:remaining]
+                new_rows = new_rows[:remaining]
+            new_frontier = to_ints(new_values)
+            if parents is not None:
+                parent_rows = np.searchsorted(indptr, new_rows, side="right") - 1
+                new_masks = masks[new_rows].tolist()
+                for state, parent_row, mask in zip(
+                    new_frontier, parent_rows.tolist(), new_masks
+                ):
+                    parents[state] = (frontier[parent_row], int(mask))
+            # Both arrays are sorted: merge in O(N + M) instead of re-sorting.
+            visited = np.insert(visited, np.searchsorted(visited, new_values), new_values)
+            visited_count += len(new_frontier)
+            frontier = new_frontier
+            if truncated:
+                break
+
+        return ExplorationOutcome(
+            engine=self.name,
+            visited_count=visited_count,
+            truncated=truncated,
+            error_found=error is not None,
+            error_parent=error[0] if error else None,
+            error_label=error[1] if error else None,
+            error_state=error[2] if error else None,
+            levels=levels,
+            parents=parents,
+        )
+
+
+# ------------------------------------------------------------------ selection
+def resolve_engine(
+    spec: object = None, source: Optional[TransitionSource] = None
+) -> ExplorationEngine:
+    """Turn an engine spec into an engine instance.
+
+    Args:
+        spec: ``None`` (read ``REPRO_VERIFICATION_ENGINE``, default
+            ``"auto"``), an :class:`ExplorationEngine` instance (returned as
+            is), or one of the spec strings ``"auto"``, ``"sequential"``,
+            ``"sharded"``, ``"sharded:N"``, ``"vectorized"``.
+        source: the transition source about to be explored; ``"auto"`` uses
+            it to size the decision (sharded for large packed products when
+            several cores are usable, sequential otherwise).
+    """
+    if spec is not None and not isinstance(spec, str):
+        if isinstance(spec, ExplorationEngine):
+            return spec
+        raise VerificationError(f"not an exploration engine or spec: {spec!r}")
+    from_env = spec is None
+    if spec is None:
+        spec = os.environ.get(ENGINE_ENV_VAR) or "auto"
+    normalized = spec.strip().lower()
+
+    if (
+        from_env
+        and normalized == "vectorized"
+        and source is not None
+        and getattr(source, "kind", "generic") != "packed"
+    ):
+        # The global env knob targets the packed verifiers; generic state
+        # spaces (TA networks) cannot run vectorized, so degrade gracefully
+        # instead of crashing every model-checker query.  An explicit
+        # engine="vectorized" argument still raises in explore().
+        return SequentialPackedEngine()
+
+    if normalized == "auto":
+        cores = available_worker_count()
+        if (
+            cores > 1
+            and source is not None
+            and getattr(source, "kind", "generic") == "packed"
+            and source.system.estimated_state_count() >= AUTO_SHARD_THRESHOLD
+        ):
+            return ShardedEngine(min(cores, 8))
+        return SequentialPackedEngine()
+    if normalized == "sequential":
+        return SequentialPackedEngine()
+    if normalized == "vectorized":
+        return VectorizedEngine()
+    if normalized == "sharded" or normalized.startswith("sharded:"):
+        workers: Optional[int] = None
+        if ":" in normalized:
+            suffix = normalized.split(":", 1)[1]
+            try:
+                workers = int(suffix)
+            except ValueError:
+                raise VerificationError(
+                    f"invalid sharded worker count {suffix!r} in engine spec {spec!r}"
+                ) from None
+        return ShardedEngine(workers)
+    raise VerificationError(
+        f"unknown exploration engine {spec!r}; expected one of "
+        "'auto', 'sequential', 'sharded[:N]', 'vectorized'"
+    )

@@ -16,9 +16,13 @@ recovery by ``r``) the state space is finite and the search terminates.
 
 The search runs on the *packed* integer encoding of the transition system
 (:mod:`repro.scheduler.packed`): states are single ``int`` keys in the
-visited set and the predecessor store, successor lists are expanded once per
-state with all arrival subsets batched together, and the frontier is
-processed level by level in plain lists.  The tuple-based
+visited set and the predecessor store, and successor lists are expanded once
+per state with all arrival subsets batched together.  The exploration
+itself is delegated to a pluggable engine
+(:mod:`repro.verification.engine`): the sequential frontier-batched BFS by
+default, a sharded multi-process BFS or a numpy-vectorized frontier on
+request (``engine=`` argument or the ``REPRO_VERIFICATION_ENGINE``
+environment variable).  The tuple-based
 :func:`repro.scheduler.slot_system.advance` stays the semantic single source
 of truth — the packed transition is cross-checked against it exhaustively by
 the test suite — and is still used to replay counterexample traces.
@@ -33,12 +37,13 @@ lengths and inter-arrival times, as the paper suggests.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import VerificationError
 from ..scheduler.packed import packed_system_for
 from ..scheduler.slot_system import SlotSystemConfig, advance, initial_state
 from ..switching.profile import SwitchingProfile
+from .engine import PackedStateSource, resolve_engine
 from .result import CounterexampleStep, VerificationResult
 
 #: Default cap on the number of explored states before giving up.
@@ -54,6 +59,9 @@ class ExhaustiveVerifier:
             instances (the paper's acceleration); ``None`` means unbounded.
         max_states: exploration cap; exceeding it marks the result as
             truncated instead of running forever.
+        engine: exploration-engine spec or instance (see
+            :func:`repro.verification.engine.resolve_engine`); ``None``
+            reads ``REPRO_VERIFICATION_ENGINE`` and defaults to ``"auto"``.
     """
 
     def __init__(
@@ -61,11 +69,13 @@ class ExhaustiveVerifier:
         profiles: Sequence[SwitchingProfile],
         instance_budget: Optional[Mapping[str, int]] = None,
         max_states: int = DEFAULT_MAX_STATES,
+        engine: object = None,
     ) -> None:
         if not profiles:
             raise VerificationError("at least one application profile is required")
         self.config = SlotSystemConfig.from_profiles(profiles, instance_budget)
         self.max_states = int(max_states)
+        self.engine = engine
         self._instance_budget = instance_budget or {}
         # Shared per-configuration packed system: repeated verifications of
         # the same slot configuration (benchmark rounds, first-fit retries)
@@ -73,63 +83,38 @@ class ExhaustiveVerifier:
         self.packed = packed_system_for(self.config)
 
     # ----------------------------------------------------------------- search
-    def verify(self, with_counterexample: bool = True) -> VerificationResult:
+    def verify(
+        self, with_counterexample: bool = True, minimize: bool = False
+    ) -> VerificationResult:
         """Run the reachability analysis.
 
         Args:
             with_counterexample: when True, predecessor links are kept so
                 that an infeasible verdict comes with a witness disturbance
                 pattern (costs memory on large state spaces).
+            minimize: trim stutter steps from the counterexample trace (see
+                :meth:`repro.verification.result.VerificationResult.minimize`).
 
         Returns:
             The :class:`VerificationResult`.
         """
         start_time = time.perf_counter()
-        system = self.packed
-        successors = system.successors
-        miss_field = system.miss_field
-        max_states = self.max_states
-        root = system.initial
-
-        visited = {root}
-        frontier: List[int] = [root]
-        # Compact predecessor store: packed successor -> (packed parent, mask).
-        parents: Optional[Dict[int, Tuple[int, int]]] = {} if with_counterexample else None
-
-        truncated = False
-        error_parent = -1
-        error_mask = 0
-
-        while frontier:
-            next_frontier: List[int] = []
-            for state in frontier:
-                for arrival_mask, succ, event_bits in successors(state):
-                    if event_bits & miss_field:
-                        error_parent = state
-                        error_mask = arrival_mask
-                        break
-                    if succ in visited:
-                        continue
-                    visited.add(succ)
-                    if parents is not None:
-                        parents[succ] = (state, arrival_mask)
-                    next_frontier.append(succ)
-                    if len(visited) >= max_states:
-                        truncated = True
-                        break
-                if error_parent >= 0 or truncated:
-                    next_frontier.clear()
-                    break
-            frontier = next_frontier
+        source = PackedStateSource(self.packed)
+        engine = resolve_engine(self.engine, source=source)
+        outcome = engine.explore(
+            source, max_states=self.max_states, with_parents=with_counterexample
+        )
 
         elapsed = time.perf_counter() - start_time
-        feasible = error_parent < 0
+        feasible = outcome.feasible
         counterexample: Tuple[CounterexampleStep, ...] = ()
-        if not feasible and parents is not None:
-            counterexample = self._reconstruct_trace(parents, error_parent, error_mask)
+        if not feasible and outcome.parents is not None:
+            counterexample = self._reconstruct_trace(
+                outcome.parents, outcome.error_parent, outcome.error_label
+            )
         # A feasible verdict needs no witness: drop the predecessor store
         # before building the (long-lived) result so its memory is reclaimed.
-        parents = None
+        outcome.parents = None
 
         names = self.config.names
         budget_items = tuple(
@@ -137,16 +122,22 @@ class ExhaustiveVerifier:
             for name in names
             if name in self._instance_budget and self._instance_budget[name] is not None
         )
-        return VerificationResult(
+        method = (
+            "exhaustive"
+            if outcome.engine == "sequential"
+            else f"exhaustive[{outcome.engine}]"
+        )
+        result = VerificationResult(
             feasible=feasible,
             applications=names,
-            method="exhaustive",
-            explored_states=len(visited),
+            method=method,
+            explored_states=outcome.visited_count,
             elapsed_seconds=elapsed,
             counterexample=counterexample,
             instance_budget=budget_items,
-            truncated=truncated,
+            truncated=outcome.truncated,
         )
+        return result.minimize() if minimize else result
 
     # ------------------------------------------------------------- internals
     def _reconstruct_trace(
@@ -188,10 +179,12 @@ def verify_slot_sharing(
     instance_budget: Optional[Mapping[str, int]] = None,
     max_states: int = DEFAULT_MAX_STATES,
     with_counterexample: bool = True,
+    engine: object = None,
+    minimize: bool = False,
 ) -> VerificationResult:
     """Verify that the given applications can safely share one TT slot.
 
     Convenience wrapper around :class:`ExhaustiveVerifier`.
     """
-    verifier = ExhaustiveVerifier(profiles, instance_budget, max_states)
-    return verifier.verify(with_counterexample=with_counterexample)
+    verifier = ExhaustiveVerifier(profiles, instance_budget, max_states, engine=engine)
+    return verifier.verify(with_counterexample=with_counterexample, minimize=minimize)

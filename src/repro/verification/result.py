@@ -7,8 +7,8 @@ overhead, and slots also catch accidental attribute writes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +66,32 @@ class VerificationResult:
             if name == application:
                 return budget
         return None
+
+    def minimize(self) -> "VerificationResult":
+        """Trim stutter steps from the counterexample trace.
+
+        The BFS witness is already *shortest in samples*, but most of its
+        steps are pure waiting: no disturbance arrives, the slot occupant
+        does not change and nothing is missed.  Those stutter steps carry no
+        information beyond the sample index of the next interesting step, so
+        this drops them while keeping every step that has arrivals, misses
+        or an occupancy change.  The retained steps keep their original
+        ``sample`` indices, so the trimmed trace still replays unambiguously
+        (re-insert empty-arrival steps between non-consecutive samples).
+
+        Returns the same result object when there is nothing to trim.
+        """
+        if not self.counterexample:
+            return self
+        trimmed: List[CounterexampleStep] = []
+        previous_occupant: Optional[str] = None
+        for step in self.counterexample:
+            if step.arrivals or step.missed or step.occupant != previous_occupant:
+                trimmed.append(step)
+            previous_occupant = step.occupant
+        if len(trimmed) == len(self.counterexample):
+            return self
+        return replace(self, counterexample=tuple(trimmed))
 
     @property
     def states_per_second(self) -> float:

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.scheduler.packed import clear_packed_caches
+
 from repro.casestudy import (
     DISTURBED_STATE,
     REQUIREMENT_SAMPLES,
@@ -18,6 +20,20 @@ from repro.casestudy import (
 from repro.control.simulation import ClosedLoopSimulator
 from repro.switching.dwell import DwellTimeAnalyzer
 from repro.switching.profile import SwitchingProfile
+
+
+@pytest.fixture(autouse=True)
+def _isolated_packed_caches():
+    """Drop the shared memoized ``PackedSlotSystem`` instances around every test.
+
+    The per-configuration cache (`repro.scheduler.packed.packed_system_for`)
+    deliberately survives across verifications for cross-run speed, but in
+    the test suite that lets successor memos (and any hypothetical packing
+    bug) leak between parametrized cases.  Each test starts and ends cold.
+    """
+    clear_packed_caches()
+    yield
+    clear_packed_caches()
 
 
 @pytest.fixture(scope="session")
@@ -74,6 +90,19 @@ def small_profile():
         max_dwell=[4, 4, 4, 3],
         tt_settling_samples=5,
         et_settling_samples=15,
+    )
+
+
+@pytest.fixture(scope="session")
+def tight_profile():
+    """A profile too demanding to share a slot with the two small ones —
+    the standard infeasible ingredient of the verification tests."""
+    return SwitchingProfile.from_arrays(
+        name="C",
+        requirement_samples=8,
+        min_inter_arrival=30,
+        min_dwell=[4, 4],
+        max_dwell=[6, 6],
     )
 
 

@@ -335,7 +335,10 @@ class TestVerifierParity:
 
     def test_infeasible_trio_matches_reference(self, small_profile, second_small_profile):
         profiles = [small_profile, second_small_profile, _tight_profile()]
-        result = ExhaustiveVerifier(profiles).verify()
+        # Pinned to the sequential engine: its stop-at-first-error count is
+        # what the tuple-level reference BFS reproduces (parallel engines
+        # finish the BFS level and report a different — still valid — count).
+        result = ExhaustiveVerifier(profiles, engine="sequential").verify()
         config = SlotSystemConfig.from_profiles(profiles)
         feasible, states = self._reference_bfs(config)
         assert result.feasible == feasible is False

@@ -1,0 +1,287 @@
+"""Cross-engine equivalence tests for the pluggable exploration engines.
+
+Every engine must explore the identical state space: on feasible systems the
+visited counts of the sequential, sharded and vectorized engines are equal
+state for state (the sequential engine is itself cross-checked against the
+tuple semantics in ``tests/scheduler/test_packed_state.py``), and on
+infeasible systems all engines must agree on the verdict and find an error
+at the same minimal BFS depth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import VerificationError
+from repro.scheduler.packed import PackedSlotSystem
+from repro.scheduler.slot_system import SlotSystemConfig
+from repro.switching.profile import SwitchingProfile
+from repro.verification import (
+    ENGINE_ENV_VAR,
+    ExplorationOutcome,
+    PackedStateSource,
+    SequentialPackedEngine,
+    ShardedEngine,
+    VectorizedEngine,
+    resolve_engine,
+    verify_slot_sharing,
+)
+from repro.verification.engine import GenericSource
+
+ENGINE_SPECS = ["sequential", "sharded:2", "vectorized"]
+
+
+def _engine_of(spec: str):
+    return resolve_engine(spec)
+
+
+def _explore(spec, config, with_parents=True, max_states=5_000_000) -> ExplorationOutcome:
+    source = PackedStateSource(PackedSlotSystem(config))
+    return _engine_of(spec).explore(source, max_states=max_states, with_parents=with_parents)
+
+
+class TestEngineEquivalence:
+    """Exhaustive small-system cross-checks over all three engines."""
+
+    def _feasible_configs(self, small_profile, second_small_profile):
+        pair = (small_profile, second_small_profile)
+        return [
+            SlotSystemConfig.from_profiles(pair),
+            SlotSystemConfig.from_profiles(pair, {"A": 2, "B": 1}),
+            SlotSystemConfig.from_profiles((small_profile,), {"A": 3}),
+        ]
+
+    def test_feasible_counts_identical_across_engines(
+        self, small_profile, second_small_profile
+    ):
+        for config in self._feasible_configs(small_profile, second_small_profile):
+            reference = _explore("sequential", config)
+            assert reference.feasible
+            for spec in ENGINE_SPECS[1:]:
+                outcome = _explore(spec, config)
+                assert outcome.feasible, spec
+                assert outcome.visited_count == reference.visited_count, spec
+                assert not outcome.truncated
+
+    def test_feasible_parent_stores_span_the_same_states(
+        self, small_profile, second_small_profile
+    ):
+        config = SlotSystemConfig.from_profiles((small_profile, second_small_profile))
+        reference = _explore("sequential", config)
+        assert reference.parents is not None
+        for spec in ENGINE_SPECS[1:]:
+            outcome = _explore(spec, config)
+            # Identical state space: the predecessor stores key the same
+            # states (every visited state except the root).
+            assert set(outcome.parents) == set(reference.parents), spec
+
+    @pytest.mark.parametrize("spec", ENGINE_SPECS)
+    def test_infeasible_verdict_and_witness_depth(
+        self, spec, small_profile, second_small_profile, tight_profile
+    ):
+        profiles = [small_profile, second_small_profile, tight_profile]
+        config = SlotSystemConfig.from_profiles(profiles)
+        reference = _explore("sequential", config)
+        outcome = _explore(spec, config)
+        assert not outcome.feasible
+        # All engines stop at the same minimal BFS depth (shortest witness).
+        assert outcome.levels == reference.levels
+        assert outcome.error_parent is not None
+        assert outcome.error_label is not None
+
+    @pytest.mark.parametrize("spec", ENGINE_SPECS)
+    def test_infeasible_witness_replays_to_a_miss(
+        self, spec, small_profile, second_small_profile, tight_profile
+    ):
+        profiles = [small_profile, second_small_profile, tight_profile]
+        result = verify_slot_sharing(profiles, engine=spec)
+        assert not result.feasible
+        assert result.counterexample
+        assert result.counterexample[-1].missed
+        # Witness depth (in samples) is the same for every engine.
+        sequential = verify_slot_sharing(profiles, engine="sequential")
+        assert len(result.counterexample) == len(sequential.counterexample)
+
+    @pytest.mark.parametrize("spec", ENGINE_SPECS)
+    def test_verifier_verdicts_and_counts_through_public_api(
+        self, spec, small_profile, second_small_profile
+    ):
+        reference = verify_slot_sharing(
+            [small_profile, second_small_profile],
+            instance_budget={"A": 2, "B": 1},
+            engine="sequential",
+            with_counterexample=False,
+        )
+        result = verify_slot_sharing(
+            [small_profile, second_small_profile],
+            instance_budget={"A": 2, "B": 1},
+            engine=spec,
+            with_counterexample=False,
+        )
+        assert result.feasible == reference.feasible is True
+        assert result.explored_states == reference.explored_states
+
+    def test_multiword_states_round_trip_through_vectorized_engine(self):
+        """Profiles wide enough to exceed one 64-bit word must still explore
+        identically (exercises the multi-word frontier path)."""
+        wide = [
+            SwitchingProfile.from_arrays(
+                name=f"W{i}",
+                requirement_samples=40,
+                min_inter_arrival=100_000,
+                min_dwell=[2] * 8,
+                max_dwell=[2] * 8,
+            )
+            for i in range(3)
+        ]
+        config = SlotSystemConfig.from_profiles(wide, {f"W{i}": 1 for i in range(3)})
+        assert PackedSlotSystem(config).packed_words > 1
+        reference = _explore("sequential", config)
+        assert reference.feasible
+        outcome = _explore("vectorized", config)
+        assert outcome.feasible
+        assert outcome.visited_count == reference.visited_count
+
+
+class TestEngineSemantics:
+    def test_truncation_reported_by_all_engines(self, small_profile, second_small_profile):
+        config = SlotSystemConfig.from_profiles((small_profile, second_small_profile))
+        for spec in ENGINE_SPECS:
+            outcome = _explore(spec, config, with_parents=False, max_states=40)
+            assert outcome.truncated, spec
+            # The cap bounds the visited set: never exceeded, at most a
+            # level's worth below it for the parallel engines.
+            assert 0 < outcome.visited_count <= 40, spec
+        sequential = _explore("sequential", config, with_parents=False, max_states=40)
+        assert sequential.visited_count == 40
+        vectorized = _explore("vectorized", config, with_parents=False, max_states=40)
+        assert vectorized.visited_count == 40
+
+    def test_cap_above_state_space_never_truncates(
+        self, small_profile, second_small_profile
+    ):
+        """A cap one above the true state-space size must leave every engine
+        un-truncated with the full count (regression: the sharded engine
+        used to flag truncation based on raw candidate counts, which include
+        duplicates and already-visited states)."""
+        config = SlotSystemConfig.from_profiles((small_profile, second_small_profile))
+        full = _explore("sequential", config, with_parents=False)
+        assert not full.truncated
+        for spec in ENGINE_SPECS:
+            outcome = _explore(
+                spec, config, with_parents=False, max_states=full.visited_count + 1
+            )
+            assert not outcome.truncated, spec
+            assert outcome.visited_count == full.visited_count, spec
+
+    def test_without_parents_no_store_is_kept(self, small_profile):
+        config = SlotSystemConfig.from_profiles((small_profile,))
+        for spec in ENGINE_SPECS:
+            outcome = _explore(spec, config, with_parents=False)
+            assert outcome.parents is None, spec
+
+    def test_vectorized_rejects_generic_sources(self):
+        source = GenericSource(initial=0, successors=lambda s: [], is_error=lambda s: False)
+        with pytest.raises(VerificationError):
+            VectorizedEngine().explore(source, max_states=10)
+
+    def test_generic_source_exploration(self):
+        """A tiny explicit graph: engines agree on counts and witness."""
+
+        graph = {0: [(1, "a"), (2, "b")], 1: [(3, "c")], 2: [(3, "d")], 3: []}
+
+        def successors(state):
+            return [(succ, label) for succ, label in graph[state]]
+
+        for spec in ["sequential", "sharded:2"]:
+            source = GenericSource(
+                initial=0, successors=successors, is_error=lambda s: s == 3
+            )
+            outcome = _engine_of(spec).explore(source, max_states=100)
+            assert outcome.error_found, spec
+            assert outcome.error_state == 3, spec
+            # The error state is part of the witness and is counted.
+            assert outcome.visited_count == 4, spec
+
+    def test_model_checker_counts_identical_across_engines(
+        self, small_profile, second_small_profile
+    ):
+        from repro.ta import ModelChecker
+        from repro.verification import SlotSharingModelBuilder
+
+        network = SlotSharingModelBuilder([small_profile, second_small_profile]).build()
+        reference = ModelChecker(network, engine="sequential").error_reachable(
+            with_trace=False
+        )
+        sharded = ModelChecker(network, engine="sharded:2").error_reachable(
+            with_trace=False
+        )
+        assert sharded.reachable == reference.reachable is False
+        assert sharded.explored_states == reference.explored_states
+
+
+class TestEngineSelection:
+    def test_spec_strings_resolve(self):
+        assert isinstance(resolve_engine("sequential"), SequentialPackedEngine)
+        assert isinstance(resolve_engine("vectorized"), VectorizedEngine)
+        sharded = resolve_engine("sharded:3")
+        assert isinstance(sharded, ShardedEngine)
+        assert sharded.workers == 3
+        assert resolve_engine("sharded").workers is None
+
+    def test_engine_instances_pass_through(self):
+        engine = ShardedEngine(2)
+        assert resolve_engine(engine) is engine
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(VerificationError):
+            resolve_engine("warp-drive")
+        with pytest.raises(VerificationError):
+            resolve_engine("sharded:many")
+        with pytest.raises(VerificationError):
+            ShardedEngine(0)
+
+    def test_env_var_override(self, small_profile, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "vectorized")
+        result = verify_slot_sharing([small_profile], with_counterexample=False)
+        assert result.method == "exhaustive[vectorized]"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "sequential")
+        result = verify_slot_sharing([small_profile], with_counterexample=False)
+        assert result.method == "exhaustive"
+
+    def test_env_vectorized_degrades_for_generic_sources(
+        self, small_profile, monkeypatch
+    ):
+        """The global env knob must not crash TA model-checker queries: the
+        vectorized engine only applies to packed sources, so env-derived
+        specs fall back to sequential for generic state spaces."""
+        from repro.ta import ModelChecker
+        from repro.verification import SlotSharingModelBuilder
+
+        monkeypatch.setenv(ENGINE_ENV_VAR, "vectorized")
+        network = SlotSharingModelBuilder([small_profile]).build()
+        result = ModelChecker(network).error_reachable(with_trace=False)
+        assert not result.reachable
+        # An explicit engine choice still fails loudly.
+        with pytest.raises(VerificationError):
+            ModelChecker(network, engine="vectorized").error_reachable(with_trace=False)
+
+    def test_auto_picks_sequential_for_small_products(self, small_profile):
+        config = SlotSystemConfig.from_profiles((small_profile,))
+        source = PackedStateSource(PackedSlotSystem(config))
+        assert isinstance(resolve_engine("auto", source=source), SequentialPackedEngine)
+
+    def test_estimated_state_count_orders_configurations(
+        self, small_profile, second_small_profile, case_study_profiles
+    ):
+        small = PackedSlotSystem(SlotSystemConfig.from_profiles((small_profile,)))
+        pair = PackedSlotSystem(
+            SlotSystemConfig.from_profiles((small_profile, second_small_profile))
+        )
+        slot1 = PackedSlotSystem(
+            SlotSystemConfig.from_profiles(
+                [case_study_profiles[n] for n in ("C1", "C5", "C4", "C3")]
+            )
+        )
+        assert small.estimated_state_count() < pair.estimated_state_count()
+        assert pair.estimated_state_count() < slot1.estimated_state_count()

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import VerificationError
-from repro.switching.profile import SwitchingProfile
 from repro.verification.acceleration import (
     busy_window,
     describe_budgets,
@@ -55,24 +54,53 @@ class TestExhaustiveVerifier:
         result = verify_slot_sharing([small_profile, second_small_profile])
         assert result.feasible
 
-    def test_incompatible_profiles_give_counterexample(self, small_profile, second_small_profile):
-        tight = SwitchingProfile.from_arrays(
-            name="C", requirement_samples=8, min_inter_arrival=30,
-            min_dwell=[4, 4], max_dwell=[6, 6],
-        )
-        result = verify_slot_sharing([small_profile, second_small_profile, tight])
+    def test_incompatible_profiles_give_counterexample(
+        self, small_profile, second_small_profile, tight_profile
+    ):
+        result = verify_slot_sharing([small_profile, second_small_profile, tight_profile])
         assert not result.feasible
         assert result.counterexample
         last = result.counterexample[-1]
         assert last.missed
 
-    def test_counterexample_optional(self, small_profile, second_small_profile):
-        tight = SwitchingProfile.from_arrays(
-            name="C", requirement_samples=8, min_inter_arrival=30,
-            min_dwell=[4, 4], max_dwell=[6, 6],
-        )
+    def test_minimized_counterexample_trims_stutter_steps(
+        self, small_profile, second_small_profile, tight_profile
+    ):
+        full = verify_slot_sharing([small_profile, second_small_profile, tight_profile])
+        minimized = full.minimize()
+        assert not minimized.feasible
+        assert minimized.counterexample
+        # Strictly shorter: a BFS witness always contains pure-waiting steps.
+        assert len(minimized.counterexample) < len(full.counterexample)
+        # Every step with information survives: arrivals, misses, occupancy
+        # changes; the final miss step is always retained.
+        kept_samples = {step.sample for step in minimized.counterexample}
+        previous_occupant = None
+        for step in full.counterexample:
+            if step.arrivals or step.missed or step.occupant != previous_occupant:
+                assert step.sample in kept_samples
+            previous_occupant = step.occupant
+        assert minimized.counterexample[-1] == full.counterexample[-1]
+        assert minimized.counterexample[-1].missed
+        # Sample indices stay the originals (strictly increasing).
+        samples = [step.sample for step in minimized.counterexample]
+        assert samples == sorted(samples)
+        # Everything else about the result is untouched.
+        assert minimized.explored_states == full.explored_states
+
+    def test_minimize_flag_on_verify(self, small_profile, second_small_profile, tight_profile):
+        profiles = [small_profile, second_small_profile, tight_profile]
+        full = verify_slot_sharing(profiles)
+        minimized = verify_slot_sharing(profiles, minimize=True)
+        assert minimized.counterexample == full.minimize().counterexample
+
+    def test_minimize_is_identity_without_counterexample(self, small_profile):
+        result = verify_slot_sharing([small_profile])
+        assert result.minimize() is result
+
+    def test_counterexample_optional(self, small_profile, second_small_profile, tight_profile):
         result = verify_slot_sharing(
-            [small_profile, second_small_profile, tight], with_counterexample=False
+            [small_profile, second_small_profile, tight_profile], with_counterexample=False
         )
         assert not result.feasible
         assert result.counterexample == ()
