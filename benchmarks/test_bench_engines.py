@@ -41,7 +41,9 @@ def _slot1():
 
 
 @pytest.mark.benchmark(group="engines")
-@pytest.mark.parametrize("engine", ["sequential", "sharded:2", "sharded:4", "vectorized"])
+@pytest.mark.parametrize(
+    "engine", ["sequential", "sharded:2", "sharded:4", "vectorized", "kernel"]
+)
 def test_bench_engine_unbounded_prefix(benchmark, engine):
     """Unbounded-budget verification of {C1, C5, C4} per engine."""
     slot = _prefix_profiles()
@@ -49,7 +51,8 @@ def test_bench_engine_unbounded_prefix(benchmark, engine):
     def run():
         return verify_slot_sharing(slot, with_counterexample=False, engine=engine)
 
-    result = benchmark.pedantic(run, iterations=1, rounds=3, warmup_rounds=1)
+    iterations = 20 if engine == "kernel" else 1
+    result = benchmark.pedantic(run, iterations=iterations, rounds=3, warmup_rounds=1)
     print_block(
         f"engine {engine} — unbounded {{C1, C5, C4}}",
         [result.summary()],
@@ -60,7 +63,7 @@ def test_bench_engine_unbounded_prefix(benchmark, engine):
 
 
 @pytest.mark.benchmark(group="engines")
-@pytest.mark.parametrize("engine", ["sequential", "vectorized"])
+@pytest.mark.parametrize("engine", ["sequential", "vectorized", "kernel"])
 def test_bench_engine_slot1_accelerated(benchmark, engine):
     """Accelerated verification of the hardest instance (slot S1) per engine."""
     slot, budgets = _slot1()
@@ -70,18 +73,22 @@ def test_bench_engine_slot1_accelerated(benchmark, engine):
             slot, instance_budget=budgets, with_counterexample=False, engine=engine
         )
 
-    result = benchmark.pedantic(run, iterations=1, rounds=2, warmup_rounds=1)
+    # The kernel replay is microsecond-scale: average over many iterations
+    # so the recorded mean is stable for the regression gate.
+    iterations = 20 if engine == "kernel" else 1
+    result = benchmark.pedantic(run, iterations=iterations, rounds=2, warmup_rounds=1)
     print_block(f"engine {engine} — slot S1 accelerated", [result.summary()])
     assert result.feasible
     assert result.explored_states == SLOT1_STATES
 
 
 def test_all_engines_agree_on_slot1():
-    """Acceptance bar: sequential, sharded and vectorized engines explore the
-    identical 145,373-state space of slot S1 (cold caches each)."""
+    """Acceptance bar: sequential, sharded, vectorized and compiled-kernel
+    engines explore the identical 145,373-state space of slot S1 (cold
+    caches each)."""
     slot, budgets = _slot1()
     counts = {}
-    for engine in ("sequential", "sharded:4", "vectorized"):
+    for engine in ("sequential", "sharded:4", "vectorized", "kernel"):
         clear_packed_caches()
         result = verify_slot_sharing(
             slot, instance_budget=budgets, with_counterexample=False, engine=engine

@@ -50,6 +50,14 @@ def main(argv=None) -> int:
         default=0.20,
         help="maximum tolerated relative slowdown (default 0.20 = 20%%)",
     )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.001,
+        help="seconds below which benchmarks never fail the gate (default "
+        "1 ms): at microsecond scale the ratio measures timer noise, not "
+        "regressions — e.g. the compiled kernel's warm replays",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -73,7 +81,9 @@ def main(argv=None) -> int:
             continue
         ratio = cur_mean / base_mean if base_mean > 0 else float("inf")
         status = "ok"
-        if ratio > 1.0 + args.threshold:
+        if max(base_mean, cur_mean) < args.floor:
+            status = "ok (sub-floor)"
+        elif ratio > 1.0 + args.threshold:
             status = "REGRESSION"
             failures.append((group, name, ratio))
         elif ratio < 1.0 - args.threshold:

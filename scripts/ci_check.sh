@@ -11,7 +11,7 @@
 #                    looser than bench_compare's 0.20 default because the
 #                    committed baseline was recorded on a different host).
 #   BENCH_GROUPS     space-separated benchmark groups to gate on
-#                    (default: "verification engines").
+#                    (default: "verification engines kernel").
 #   BENCH_JSON       where to write the fresh export (default: a temp file).
 #   SKIP_TESTS=1     only run the benchmark gate (e.g. after a test-only CI
 #                    stage already ran the suite).
@@ -24,7 +24,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 BASELINE="benchmarks/baselines/baseline.json"
 THRESHOLD="${BENCH_THRESHOLD:-0.35}"
 # (Not named GROUPS: that is a readonly bash builtin.)
-GATE_GROUPS=(${BENCH_GROUPS:-verification engines})
+GATE_GROUPS=(${BENCH_GROUPS:-verification engines kernel})
 CURRENT="${BENCH_JSON:-$(mktemp /tmp/bench-current.XXXXXX.json)}"
 
 if [[ ! -f "$BASELINE" ]]; then

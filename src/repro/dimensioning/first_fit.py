@@ -120,7 +120,14 @@ def default_admission_test(
             on complete (non-truncated) explorations the verdict is
             engine-independent, only the wall-clock changes.  (Truncated
             runs raise ``MappingError`` below, so the memoized verdicts are
-            always engine-independent.)
+            always engine-independent.)  ``engine="kernel"`` pays off when
+            the *same* slot configurations are probed across dimensioner
+            instances or consideration orders: the verdict memo below only
+            spans one admission test, but the kernel's compiled state graph
+            lives on the shared per-configuration packed system, so a
+            re-probed configuration replays its frozen graph instead of
+            re-exploring — and the default ``"auto"`` spec upgrades to the
+            replay automatically once a configuration's graph is compiled.
     """
     verdicts: Dict[Tuple[SwitchingProfile, ...], bool] = {}
 

@@ -155,6 +155,10 @@ class PackedSlotSystem:
         # Per-state numpy successor rows for `successor_tables` (vectorized
         # engine); same retention policy as the successor memo.
         self._table_memo: Dict[int, tuple] = {}
+        #: Compiled id-indexed CSR state graph of this system, built lazily
+        #: by :func:`repro.verification.kernel.compiled_graph_for` and
+        #: released together with the successor memo (:meth:`clear_memo`).
+        self.compiled_graph = None
         self.initial = self.encode(initial_state(config))
 
     # ------------------------------------------------------------- encoding
@@ -429,58 +433,89 @@ class PackedSlotSystem:
         * ``miss`` (``bool``) flags transitions whose events contain a
           deadline miss.
 
-        The per-state rows are memoized alongside the :meth:`successors`
-        lists (same ``memo_limit`` policy), so warm levels assemble with a
-        handful of ``concatenate`` calls instead of per-transition Python
-        work.
+        The rows of uncached states are built *batched for the whole call*
+        (three ``np.fromiter`` passes over the flattened transition list per
+        word column, not three array constructions per state) and the
+        per-state slices are memoized alongside the :meth:`successors`
+        lists (same ``memo_limit`` policy), so a fully cold level costs one
+        batched pass and a warm level assembles with a handful of
+        ``concatenate`` calls — no per-transition Python work either way.
         """
         import numpy as np
 
         words = self.packed_words
-        word_mask = (1 << 64) - 1
-        miss_field = self.miss_field
-        successors = self.successors
         memo = self._table_memo
         memo_limit = self._memo_limit
 
-        row_tables = []
+        normalized: List[int] = []
+        missing: List[int] = []
+        seen_missing = set()
         for state in states:
             state = int(state)
-            cached = memo.get(state)
-            if cached is None:
-                entries = successors(state)
-                count = len(entries)
-                if words == 1:
-                    succ_matrix = np.fromiter(
-                        (succ for _, succ, _ in entries), dtype=np.uint64, count=count
-                    ).reshape(count, 1)
-                else:
-                    succ_matrix = np.array(
-                        [
-                            tuple(
-                                (succ >> (64 * (words - 1 - j))) & word_mask
-                                for j in range(words)
-                            )
-                            for _, succ, _ in entries
-                        ],
-                        dtype=np.uint64,
-                    ).reshape(count, words)
-                cached = (
-                    succ_matrix,
-                    np.fromiter(
-                        (mask for mask, _, _ in entries), dtype=np.uint64, count=count
-                    ),
-                    np.fromiter(
-                        (bool(bits & miss_field) for _, _, bits in entries),
-                        dtype=bool,
-                        count=count,
-                    ),
-                )
-                if len(memo) < memo_limit:
-                    memo[state] = cached
-            row_tables.append(cached)
+            normalized.append(state)
+            if state not in memo and state not in seen_missing:
+                seen_missing.add(state)
+                missing.append(state)
 
-        indptr = np.zeros(len(states) + 1, dtype=np.int64)
+        local: Dict[int, tuple] = {}
+        if missing:
+            from itertools import chain
+
+            successors = self.successors
+            miss_field = self.miss_field
+            word_mask = (1 << 64) - 1
+            entry_lists = [successors(state) for state in missing]
+            counts = [len(entries) for entries in entry_lists]
+            total = sum(counts)
+            flat = list(chain.from_iterable(entry_lists))
+            succ_matrix = np.empty((total, words), dtype=np.uint64)
+            if words == 1:
+                succ_matrix[:, 0] = np.fromiter(
+                    (entry[1] for entry in flat), dtype=np.uint64, count=total
+                )
+            else:
+                for j in range(words):
+                    shift = 64 * (words - 1 - j)
+                    succ_matrix[:, j] = np.fromiter(
+                        ((entry[1] >> shift) & word_mask for entry in flat),
+                        dtype=np.uint64,
+                        count=total,
+                    )
+            masks = np.fromiter(
+                (entry[0] for entry in flat), dtype=np.uint64, count=total
+            )
+            miss = np.fromiter(
+                (bool(entry[2] & miss_field) for entry in flat),
+                dtype=bool,
+                count=total,
+            )
+            offsets = np.zeros(len(missing) + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            if len(missing) == len(normalized):
+                # Fast path: every requested state was uncached and unique
+                # (the cold BFS level) — the batch arrays already are the
+                # answer, in order; memoize the row slices and return.
+                for index, state in enumerate(missing):
+                    if len(memo) >= memo_limit:
+                        break
+                    low, high = offsets[index], offsets[index + 1]
+                    memo[state] = (
+                        succ_matrix[low:high],
+                        masks[low:high],
+                        miss[low:high],
+                    )
+                return offsets, succ_matrix, masks, miss
+            for index, state in enumerate(missing):
+                low, high = offsets[index], offsets[index + 1]
+                rows = (succ_matrix[low:high], masks[low:high], miss[low:high])
+                local[state] = rows
+                if len(memo) < memo_limit:
+                    memo[state] = rows
+
+        row_tables = [
+            memo[state] if state in memo else local[state] for state in normalized
+        ]
+        indptr = np.zeros(len(normalized) + 1, dtype=np.int64)
         np.cumsum([table[1].shape[0] for table in row_tables], out=indptr[1:])
         if row_tables:
             succ_matrix = np.concatenate([table[0] for table in row_tables])
@@ -500,10 +535,12 @@ class PackedSlotSystem:
         the table for an order-of-magnitude warm-up.  Long-lived processes
         that verify each configuration only once should call this (or
         :func:`clear_packed_caches`) after a search — the table can hold up
-        to ``memo_limit`` entries.
+        to ``memo_limit`` entries.  The compiled state graph of the kernel
+        engine follows the same policy and is dropped here too.
         """
         self._successor_memo.clear()
         self._table_memo.clear()
+        self.compiled_graph = None
 
     def _block_info(self, index: int, block: int) -> tuple:
         """Precomputed one-step data for one application block value.

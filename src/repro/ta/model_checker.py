@@ -11,7 +11,12 @@ The search itself is delegated to the pluggable exploration engines of
 original deque-based loop state for state, and the sharded multi-process
 engine can be selected per checker (``engine=`` argument) or globally
 (``REPRO_VERIFICATION_ENGINE``).  The numpy-vectorized engine only applies
-to packed slot systems and is rejected for TA networks.
+to packed slot systems and is rejected for TA networks; the compiled
+state-graph kernel (``engine="kernel"``) *is* supported — the checker owns
+a per-instance graph cache, so the network's state graph is expanded once
+and every further query (error reachability, invariants, state counting,
+any predicate) replays the compiled id graph without re-running a single
+``successors`` call.
 """
 
 from __future__ import annotations
@@ -82,6 +87,11 @@ class ModelChecker:
         self.network = network
         self.max_states = int(max_states)
         self.engine = engine
+        # Per-checker home of the compiled kernel graph: the network's
+        # state graph is predicate-independent, so every query through this
+        # checker shares one compiled expansion (engine="kernel" only;
+        # other engines ignore the cache).
+        self._kernel_cache: Dict[str, object] = {}
 
     # ---------------------------------------------------------------- queries
     def reachable(
@@ -105,6 +115,7 @@ class ModelChecker:
             initial=root,
             successors=network.successors,
             is_error=lambda state: predicate(network, state),
+            cache=self._kernel_cache,
         )
         engine = resolve_engine(self.engine, source=source)
         outcome = engine.explore(

@@ -22,8 +22,16 @@ Every reachability search in this package (and in
 * ``"vectorized"`` — :class:`~repro.verification.engine.VectorizedEngine`,
   numpy ``uint64`` frontiers over the packed integer states, driven by the
   successor tables exported by
-  :meth:`repro.scheduler.packed.PackedSlotSystem.successor_tables`.  Packed
-  slot systems only.
+  :meth:`repro.scheduler.packed.PackedSlotSystem.successor_tables`, with an
+  open-addressing hash visited set (:mod:`repro.verification.kernel`).
+  Packed slot systems only.
+* ``"kernel"`` — :class:`~repro.verification.engine.CompiledKernelEngine`,
+  the compiled state-graph kernel: the first exploration interns every
+  discovered state into a dense ``int32`` id and compiles the transition
+  structure into id-indexed CSR arrays cached per configuration; warm
+  re-verification (first-fit retries, benchmark rounds, repeated
+  model-checker queries) replays the frozen graph without re-expanding a
+  single state.  Works for packed *and* generic sources.
 
 Selection is per call site (``engine=`` argument on
 :class:`ExhaustiveVerifier`, :func:`verify_slot_sharing`,
@@ -46,6 +54,7 @@ from .acceleration import busy_window, describe_budgets, instance_budgets, inter
 from .automata import NO_APP, SlotSharingModelBuilder, verify_with_model_checker
 from .engine import (
     ENGINE_ENV_VAR,
+    CompiledKernelEngine,
     ExplorationEngine,
     ExplorationOutcome,
     GenericSource,
@@ -57,7 +66,7 @@ from .engine import (
     resolve_engine,
 )
 from .exhaustive import DEFAULT_MAX_STATES, ExhaustiveVerifier, verify_slot_sharing
-from .result import CounterexampleStep, VerificationResult
+from .result import CounterexampleStep, VerificationResult, replay_counterexample
 
 __all__ = [
     "VerificationResult",
@@ -77,9 +86,11 @@ __all__ = [
     "SequentialPackedEngine",
     "ShardedEngine",
     "VectorizedEngine",
+    "CompiledKernelEngine",
     "PackedStateSource",
     "GenericSource",
     "resolve_engine",
     "available_worker_count",
     "ENGINE_ENV_VAR",
+    "replay_counterexample",
 ]

@@ -20,7 +20,9 @@ visited set and the predecessor store, and successor lists are expanded once
 per state with all arrival subsets batched together.  The exploration
 itself is delegated to a pluggable engine
 (:mod:`repro.verification.engine`): the sequential frontier-batched BFS by
-default, a sharded multi-process BFS or a numpy-vectorized frontier on
+default, a sharded multi-process BFS, a numpy-vectorized frontier or the
+compiled state-graph kernel — which caches the explored graph per
+configuration and replays warm re-verifications without re-expanding — on
 request (``engine=`` argument or the ``REPRO_VERIFICATION_ENGINE``
 environment variable).  The tuple-based
 :func:`repro.scheduler.slot_system.advance` stays the semantic single source
@@ -41,10 +43,10 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import VerificationError
 from ..scheduler.packed import packed_system_for
-from ..scheduler.slot_system import SlotSystemConfig, advance, initial_state
+from ..scheduler.slot_system import SlotSystemConfig
 from ..switching.profile import SwitchingProfile
 from .engine import PackedStateSource, resolve_engine
-from .result import CounterexampleStep, VerificationResult
+from .result import CounterexampleStep, VerificationResult, replay_counterexample
 
 #: Default cap on the number of explored states before giving up.
 DEFAULT_MAX_STATES = 5_000_000
@@ -100,7 +102,7 @@ class ExhaustiveVerifier:
         """
         start_time = time.perf_counter()
         source = PackedStateSource(self.packed)
-        engine = resolve_engine(self.engine, source=source)
+        engine = resolve_engine(self.engine, source=source, max_states=self.max_states)
         outcome = engine.explore(
             source, max_states=self.max_states, with_parents=with_counterexample
         )
@@ -148,30 +150,24 @@ class ExhaustiveVerifier:
     ) -> Tuple[CounterexampleStep, ...]:
         """Rebuild the arrival pattern leading to the deadline miss and replay it."""
         system = self.packed
-        root = system.initial
-        arrival_sequence: List[Tuple[int, ...]] = [system.indices_of_mask(error_mask)]
-        cursor = error_parent
-        while cursor != root:
-            parent, mask = parents[cursor]
-            arrival_sequence.append(system.indices_of_mask(mask))
-            cursor = parent
-        arrival_sequence.reverse()
-
-        names = self.config.names
-        steps: List[CounterexampleStep] = []
-        state = initial_state(self.config)
-        for sample, arrivals in enumerate(arrival_sequence):
-            state, events = advance(self.config, state, arrivals)
-            occupant = None if state.slot_free() else names[state.occupant]
-            steps.append(
-                CounterexampleStep(
-                    sample=sample,
-                    arrivals=tuple(names[index] for index in arrivals),
-                    occupant=occupant,
-                    missed=tuple(names[index] for index in events.deadline_misses),
-                )
-            )
-        return tuple(steps)
+        chain = getattr(parents, "arrival_chain", None)
+        if chain is not None:
+            # Id-based predecessor store (compiled kernel): the arrival
+            # masks come straight from the dense parent arrays, no packed
+            # ints are hashed along the walk.
+            masks: List[int] = chain(error_parent)
+        else:
+            root = system.initial
+            masks = []
+            cursor = error_parent
+            while cursor != root:
+                parent, mask = parents[cursor]
+                masks.append(mask)
+                cursor = parent
+            masks.reverse()
+        masks.append(error_mask)
+        arrival_sequence = [system.indices_of_mask(mask) for mask in masks]
+        return replay_counterexample(self.config, arrival_sequence)
 
 
 def verify_slot_sharing(

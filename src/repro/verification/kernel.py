@@ -1,0 +1,765 @@
+"""Compiled state-graph kernel for the exploration engines.
+
+The engines of :mod:`repro.verification.engine` repeatedly pay two costs
+that this module eliminates:
+
+* **Per-state Python objects in the set work.**  The vectorized engine's
+  visited set was a sorted ``uint64`` array re-built with ``np.insert``
+  every BFS level — O(n) per level, quadratic over a run.
+  :class:`PackedStateTable` replaces it with an open-addressing hash table
+  (numpy, power-of-two capacity, linear probing): membership and insert are
+  amortized O(1) per key, batched over whole frontiers, and states wider
+  than 64 bits are stored as multi-word rows and hashed down to one word.
+* **Re-expanding states on warm re-verification.**  The paper's Sec. 5
+  workload — first-fit dimensioning retries, benchmark rounds, the
+  verification-time experiments — verifies the same configuration many
+  times.  :class:`CompiledStateGraph` interns every discovered packed state
+  into a dense ``int32`` id *during* the first exploration and records the
+  transition structure as CSR arrays (``indptr`` / ``successor_ids`` /
+  ``labels`` keyed by id, the dense transition-table representation
+  tulip-control uses for its transition systems).  A second exploration of
+  the same configuration replays the frozen level structure without
+  expanding a single state — the per-level loop touches only id ranges and
+  cached level sizes.  The graph is cached on the owning
+  :class:`~repro.scheduler.packed.PackedSlotSystem`
+  (``packed_system_for``-style), so it shares the lifetime and the
+  ``clear_packed_caches`` policy of the successor memo.
+* **Generic state spaces** (the TA model checker's
+  :class:`~repro.ta.network.NetworkState` graphs) get the same warm-replay
+  treatment from :class:`GenericStateGraph`: states intern into dense ids
+  through a dict, the CSR lives in plain lists, and the error *predicate*
+  stays a per-query parameter — the expensive successor expansion is
+  compiled once per network, then reachability / invariant queries with any
+  predicate replay it.
+
+Predecessor stores are id-based: :class:`CsrParentStore` and
+:class:`GenericParentStore` expose the compiled parent arrays through the
+read-only ``Mapping`` interface the callers already consume (``successor
+state -> (parent state, label)``), so trace reconstruction works unchanged,
+plus an ``arrival_chain`` fast path that walks ids instead of hashing
+packed ints.
+
+Exploration semantics mirror the level-synchronous engines (sharded,
+vectorized): identical visited counts on feasible complete runs, identical
+error depth on infeasible ones, deterministic truncation by sorted order
+within the level that would cross ``max_states`` (see the semantics notes
+in :mod:`repro.verification.engine`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PackedStateTable",
+    "CompiledStateGraph",
+    "GenericStateGraph",
+    "CsrParentStore",
+    "GenericParentStore",
+    "compiled_graph_for",
+    "hash_words",
+    "unpack_words",
+]
+
+#: Sentinel ``label`` marking a record without a parent (the root) in the
+#: sharded engine's packed candidate buffers.  Real labels are arrival
+#: masks, bounded by the application count, so the all-ones word is free.
+NO_PARENT_LABEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_SPLIT_C1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLIT_C2 = np.uint64(0x94D049BB133111EB)
+_FNV_PRIME = np.uint64(0x100000001B3)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_ONE = np.uint64(1)
+
+
+def hash_words(word_matrix: np.ndarray) -> np.ndarray:
+    """One mixed ``uint64`` hash per multi-word state row.
+
+    A splitmix64 finalizer per word folded FNV-style across the columns:
+    cheap, vectorized and well-distributed — the probe hash of
+    :class:`PackedStateTable` and the shard router of the sharded engine
+    (coordinator and workers must agree, so both call this).
+    """
+    rows = word_matrix.shape[0]
+    h = np.full(rows, _GOLDEN, dtype=np.uint64)
+    for j in range(word_matrix.shape[1]):
+        x = word_matrix[:, j].copy()
+        x ^= x >> np.uint64(30)
+        x *= _SPLIT_C1
+        x ^= x >> np.uint64(27)
+        x *= _SPLIT_C2
+        x ^= x >> np.uint64(31)
+        h = (h ^ x) * _FNV_PRIME
+    return h
+
+
+def unpack_words(word_matrix: np.ndarray) -> List[int]:
+    """Rebuild Python ints from ``uint64`` word rows (one bulk conversion).
+
+    Inverse of :meth:`repro.scheduler.packed.PackedSlotSystem.pack_words`
+    (most significant word first).
+    """
+    if word_matrix.shape[1] == 1:
+        return word_matrix[:, 0].tolist()
+    acc = word_matrix[:, 0].astype(object)
+    for j in range(1, word_matrix.shape[1]):
+        acc = (acc << 64) | word_matrix[:, j].astype(object)
+    return acc.tolist()
+
+
+def _void_dtype(words: int) -> np.dtype:
+    """Structured dtype whose lexicographic order equals numeric order of
+    the packed value (most significant word first)."""
+    return np.dtype([(f"w{j}", np.uint64) for j in range(words)])
+
+
+def as_void(word_matrix: np.ndarray) -> np.ndarray:
+    """View word rows as one sortable scalar per state (for ``np.unique``).
+
+    Single-word states stay plain ``uint64`` (structured-void comparisons
+    are several times slower than native integer sorts); wider states view
+    as one structured scalar per row, whose lexicographic order equals the
+    numeric order of the packed value.  Either way the result sorts by
+    packed value and round-trips through :func:`void_to_words`.
+    """
+    if word_matrix.shape[1] == 1:
+        return np.ascontiguousarray(word_matrix).ravel()
+    return (
+        np.ascontiguousarray(word_matrix)
+        .view(_void_dtype(word_matrix.shape[1]))
+        .ravel()
+    )
+
+
+def void_to_words(void_values: np.ndarray, words: int) -> np.ndarray:
+    """Inverse of :func:`as_void`: sortable scalars back to word rows."""
+    return np.ascontiguousarray(void_values).view(np.uint64).reshape(-1, words)
+
+
+class PackedStateTable:
+    """Open-addressing hash interner for packed multi-word states.
+
+    The table maps ``uint64`` word rows to dense consecutive ids.  Layout:
+
+    * ``_slots`` — the open-addressing array (power-of-two capacity) holding
+      state ids, ``-1`` when empty; collisions resolve by linear probing.
+    * ``_states`` — the id-indexed key store: row ``i`` is the word row of
+      state id ``i``.  Slot entries carry only the 8-byte id, key compares
+      gather from this single canonical array, and ``state_words`` exposes
+      it as the dense id → state table of the compiled graph.
+
+    All operations are batched: ``intern`` / ``lookup`` / ``contains`` take
+    an ``(m, words)`` matrix and run the probe loop over the whole batch at
+    once (each iteration advances every still-unresolved key by one probe
+    step), so the per-key Python overhead is O(max probe length) for the
+    batch, not O(m).  The load factor is kept below ~0.6, which bounds the
+    expected probe length to a small constant — amortized O(1) membership
+    and insert per key, independent of table size.
+
+    ``intern`` requires the batch itself to be duplicate-free (the engines
+    always pass ``np.unique`` output); ``lookup`` and ``contains`` accept
+    anything.
+    """
+
+    __slots__ = ("_words", "_capacity", "_mask", "_slots", "_states", "_size")
+
+    def __init__(self, words: int = 1, initial_capacity: int = 1 << 12) -> None:
+        if words < 1:
+            raise ValueError(f"state word count must be positive, got {words}")
+        capacity = 8
+        while capacity < initial_capacity:
+            capacity <<= 1
+        self._words = int(words)
+        self._capacity = capacity
+        self._mask = np.uint64(capacity - 1)
+        self._slots = np.full(capacity, -1, dtype=np.int64)
+        self._states = np.zeros((max(capacity >> 1, 8), self._words), dtype=np.uint64)
+        self._size = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def size(self) -> int:
+        """Number of interned states (== the next id to be assigned)."""
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Current slot-array capacity (always a power of two)."""
+        return self._capacity
+
+    @property
+    def words(self) -> int:
+        return self._words
+
+    @property
+    def state_words(self) -> np.ndarray:
+        """Dense id → word-row table (``(size, words)`` view, id order)."""
+        return self._states[: self._size]
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------ internals
+    def _hash_words(self, keys: np.ndarray) -> np.ndarray:
+        """Probe hash of a key batch (overridable for collision tests)."""
+        return hash_words(keys)
+
+    def _probe_lookup(self, keys: np.ndarray, hashes: np.ndarray) -> np.ndarray:
+        """Ids of the keys (``-1`` where absent); vectorized linear probing."""
+        m = keys.shape[0]
+        result = np.full(m, -1, dtype=np.int64)
+        if self._size == 0 or m == 0:
+            return result
+        slots = self._slots
+        states = self._states
+        pos = hashes & self._mask
+        pending = np.arange(m)
+        while pending.size:
+            probe = pos[pending]
+            found_ids = slots[probe]
+            occupied = found_ids >= 0
+            if occupied.any():
+                rows = pending[occupied]
+                candidates = found_ids[occupied]
+                equal = (states[candidates] == keys[rows]).all(axis=1)
+                result[rows[equal]] = candidates[equal]
+                pending = rows[~equal]
+            else:
+                break  # every remaining key hit an empty slot: absent
+            if pending.size:
+                pos[pending] = (pos[pending] + _ONE) & self._mask
+        return result
+
+    def _claim_slots(self, ids: np.ndarray, hashes: np.ndarray) -> None:
+        """Insert id entries for keys known to be absent and distinct.
+
+        Scatter-claim loop: every pending key writes its id into its probe
+        slot if empty, re-reads to see whether it won (several keys may race
+        for one slot inside a batch), and losers advance one probe step.
+        """
+        slots = self._slots
+        pos = hashes & self._mask
+        pending = np.arange(ids.shape[0])
+        while pending.size:
+            probe = pos[pending]
+            free = slots[probe] < 0
+            if free.any():
+                slots[probe[free]] = ids[pending[free]]
+                won = slots[pos[pending]] == ids[pending]
+                pending = pending[~won]
+                if not pending.size:
+                    break
+            pos[pending] = (pos[pending] + _ONE) & self._mask
+
+    def _reserve(self, incoming: int) -> None:
+        """Grow key store / rehash slots so ``incoming`` inserts stay < 0.6 load."""
+        needed = self._size + incoming
+        if needed > self._states.shape[0]:
+            state_capacity = self._states.shape[0]
+            while state_capacity < needed:
+                state_capacity <<= 1
+            grown = np.zeros((state_capacity, self._words), dtype=np.uint64)
+            grown[: self._size] = self._states[: self._size]
+            self._states = grown
+        if needed * 5 >= self._capacity * 3:
+            capacity = self._capacity
+            while needed * 5 >= capacity * 3:
+                capacity <<= 1
+            self._capacity = capacity
+            self._mask = np.uint64(capacity - 1)
+            self._slots = np.full(capacity, -1, dtype=np.int64)
+            if self._size:
+                existing = self._states[: self._size]
+                self._claim_slots(
+                    np.arange(self._size, dtype=np.int64),
+                    self._hash_words(existing),
+                )
+
+    # ------------------------------------------------------------ operations
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Ids of a key batch, ``-1`` where a key is not interned."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint64).reshape(-1, self._words)
+        return self._probe_lookup(keys, self._hash_words(keys))
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership mask of a key batch."""
+        return self.lookup(keys) >= 0
+
+    def intern(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Ids of a duplicate-free key batch, inserting the unseen ones.
+
+        New keys receive consecutive ids (``size``, ``size + 1``, ...) in
+        batch-row order — engines pass batches sorted by packed value, so
+        ids within one BFS level ascend with the packed value, which is
+        what makes truncation-by-id-prefix deterministic.
+
+        Returns:
+            ``(ids, new_mask)`` — ``int64`` ids per row and a boolean mask
+            flagging the rows that were newly inserted.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64).reshape(-1, self._words)
+        m = keys.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        self._reserve(m)
+        hashes = self._hash_words(keys)
+        ids = self._probe_lookup(keys, hashes)
+        new_mask = ids < 0
+        new_rows = np.flatnonzero(new_mask)
+        if new_rows.size:
+            new_ids = self._size + np.arange(new_rows.size, dtype=np.int64)
+            ids[new_rows] = new_ids
+            self._states[new_ids] = keys[new_rows]
+            self._size += int(new_rows.size)
+            self._claim_slots(new_ids, hashes[new_rows])
+        return ids, new_mask
+
+
+class _GrowableRows:
+    """Append-only numpy array with amortized-O(1) geometric growth."""
+
+    __slots__ = ("_data", "_len")
+
+    def __init__(self, dtype, cols: int = 0, capacity: int = 16) -> None:
+        shape = (capacity,) if cols == 0 else (capacity, cols)
+        self._data = np.zeros(shape, dtype=dtype)
+        self._len = 0
+
+    def extend(self, rows: np.ndarray) -> None:
+        needed = self._len + len(rows)
+        if needed > self._data.shape[0]:
+            capacity = self._data.shape[0]
+            while capacity < needed:
+                capacity <<= 1
+            grown = np.zeros((capacity,) + self._data.shape[1:], self._data.dtype)
+            grown[: self._len] = self._data[: self._len]
+            self._data = grown
+        self._data[self._len : needed] = rows
+        self._len = needed
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def view(self) -> np.ndarray:
+        return self._data[: self._len]
+
+
+class CsrParentStore(Mapping):
+    """Id-based predecessor store of a compiled packed graph.
+
+    Read-only ``Mapping`` view ``successor packed int -> (parent packed
+    int, arrival mask)`` over the kernel's dense parent arrays, spanning
+    exactly the states visible to one exploration (ids ``1 ..
+    visible_count - 1``; the root has no parent).  ``arrival_chain`` walks
+    the id arrays directly — the trace-reconstruction fast path that never
+    hashes a packed int.
+    """
+
+    __slots__ = ("_graph", "_count")
+
+    def __init__(self, graph: "CompiledStateGraph", visible_count: int) -> None:
+        self._graph = graph
+        self._count = int(visible_count)
+
+    def _id_of(self, state: int) -> int:
+        graph = self._graph
+        ids = graph.table.lookup(graph.system.pack_words([int(state)]))
+        state_id = int(ids[0])
+        if state_id < 1 or state_id >= self._count:
+            raise KeyError(state)
+        return state_id
+
+    def __getitem__(self, state: int) -> Tuple[int, int]:
+        state_id = self._id_of(state)
+        graph = self._graph
+        parent_id = int(graph.parent_ids[state_id - 1])
+        parent = graph.states_as_ints(parent_id, parent_id + 1)[0]
+        return parent, int(graph.parent_labels[state_id - 1])
+
+    def __contains__(self, state: object) -> bool:
+        try:
+            self._id_of(state)  # type: ignore[arg-type]
+        except (KeyError, TypeError):
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return max(self._count - 1, 0)
+
+    def __iter__(self):
+        return iter(self._graph.states_as_ints(1, self._count))
+
+    def arrival_chain(self, state: int) -> List[int]:
+        """Arrival masks along the BFS tree path root → ``state``."""
+        graph = self._graph
+        root = graph.system.initial
+        if int(state) == root:
+            return []
+        state_id = self._id_of(state)
+        parent_ids = graph.parent_ids
+        parent_labels = graph.parent_labels
+        masks: List[int] = []
+        while state_id != 0:
+            masks.append(int(parent_labels[state_id - 1]))
+            state_id = int(parent_ids[state_id - 1])
+        masks.reverse()
+        return masks
+
+
+class CompiledStateGraph:
+    """Incrementally compiled CSR state graph of one packed slot system.
+
+    Compilation happens lazily *during* the first exploration: every
+    discovered packed state is interned into a dense ``int32`` id
+    (:class:`PackedStateTable`), and each BFS level appends its transition
+    rows to CSR arrays — ``indptr[id] : indptr[id + 1]`` delimits the
+    successor rows of state ``id``, ``successor_ids`` / ``labels`` hold the
+    target ids and arrival masks.  The BFS tree (``parent_ids`` /
+    ``parent_labels``, row ``id - 1``) and the level boundaries
+    (``level_ptr``) are compiled alongside.
+
+    Ids are assigned in BFS discovery order, ascending by packed value
+    within a level, so a level is an id *range* and a deterministic
+    truncation is an id *prefix*.  A warm :meth:`explore` of a finished (or
+    error-stopped) graph replays the frozen level structure without
+    expanding, packing or hashing a single state; a cap-extended run
+    resumes compilation exactly where the previous one stopped.
+    """
+
+    __slots__ = (
+        "system",
+        "words",
+        "table",
+        "level_ptr",
+        "expanded_levels",
+        "complete",
+        "error",
+        "error_level",
+        "_indptr",
+        "_succ_ids",
+        "_labels",
+        "_parent_ids",
+        "_parent_labels",
+    )
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.words = int(system.packed_words)
+        self.table = PackedStateTable(self.words)
+        self.table.intern(system.pack_words([system.initial]))
+        #: ``level_ptr[d] : level_ptr[d + 1]`` is the id range of BFS depth d.
+        self.level_ptr: List[int] = [0, 1]
+        #: Number of BFS levels whose expansion is compiled.
+        self.expanded_levels = 0
+        #: The deepest level expanded to no new states (graph is frozen).
+        self.complete = False
+        #: Deterministic error witness ``(parent, mask, successor)`` packed
+        #: ints, or ``None``; set at most once (compilation stops there).
+        self.error: Optional[Tuple[int, int, int]] = None
+        #: Level whose expansion found the error (``-1`` while error-free).
+        self.error_level = -1
+        self._indptr = _GrowableRows(np.int64)
+        self._indptr.extend(np.zeros(1, dtype=np.int64))
+        self._succ_ids = _GrowableRows(np.int32)
+        self._labels = _GrowableRows(np.uint64)
+        self._parent_ids = _GrowableRows(np.int32)
+        self._parent_labels = _GrowableRows(np.uint64)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def state_count(self) -> int:
+        """Number of interned (discovered) states."""
+        return self.table.size
+
+    @property
+    def transition_count(self) -> int:
+        """Number of compiled CSR transition rows."""
+        return len(self._succ_ids)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer, indexed by state id (expanded prefix only)."""
+        return self._indptr.view
+
+    @property
+    def successor_ids(self) -> np.ndarray:
+        """CSR column array: dense successor id per transition row."""
+        return self._succ_ids.view
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Arrival mask per CSR transition row."""
+        return self._labels.view
+
+    @property
+    def parent_ids(self) -> np.ndarray:
+        """BFS-tree parent id of state ``id`` at row ``id - 1``."""
+        return self._parent_ids.view
+
+    @property
+    def parent_labels(self) -> np.ndarray:
+        """BFS-tree arrival mask of state ``id`` at row ``id - 1``."""
+        return self._parent_labels.view
+
+    def states_as_ints(self, start: int, stop: int) -> List[int]:
+        """Packed Python ints of the id range (one bulk conversion)."""
+        return unpack_words(self.table.state_words[start:stop])
+
+    def id_of_packed(self, state: int) -> int:
+        """Dense id of a packed state (``-1`` when not discovered)."""
+        return int(self.table.lookup(self.system.pack_words([int(state)]))[0])
+
+    # ---------------------------------------------------------- compilation
+    def _expand_next_level(self) -> None:
+        """Compile the expansion of the next unexpanded BFS level."""
+        k = self.expanded_levels
+        first, last = self.level_ptr[k], self.level_ptr[k + 1]
+        frontier = self.states_as_ints(first, last)
+        indptr, succ_words, masks, miss = self.system.successor_tables(frontier)
+        self.expanded_levels = k + 1
+        if miss.any():
+            rows = np.flatnonzero(miss)
+            parent_rows = np.searchsorted(indptr, rows, side="right") - 1
+            candidates = []
+            for row, parent_row in zip(rows.tolist(), parent_rows.tolist()):
+                successor = unpack_words(succ_words[row : row + 1])[0]
+                candidates.append((frontier[parent_row], int(masks[row]), successor))
+            # Same deterministic witness rule as the level-synchronous
+            # engines: the minimal (parent, mask) pair of the level.
+            self.error = min(candidates, key=lambda entry: (entry[0], entry[1]))
+            self.error_level = k
+            return
+        if succ_words.shape[0] == 0:  # pragma: no cover - states always expand
+            self.complete = True
+            return
+        unique_void, first_rows, inverse = np.unique(
+            as_void(succ_words), return_index=True, return_inverse=True
+        )
+        ids, new_mask = self.table.intern(void_to_words(unique_void, self.words))
+        base = len(self._succ_ids)
+        self._indptr.extend(indptr[1:] + base)
+        self._succ_ids.extend(ids[inverse].astype(np.int32))
+        self._labels.extend(masks)
+        new_rows = np.flatnonzero(new_mask)
+        if new_rows.size == 0:
+            self.complete = True
+            return
+        firsts = first_rows[new_rows]
+        parent_rows = np.searchsorted(indptr, firsts, side="right") - 1
+        self._parent_ids.extend((first + parent_rows).astype(np.int32))
+        self._parent_labels.extend(masks[firsts])
+        self.level_ptr.append(self.table.size)
+
+    # ---------------------------------------------------------- exploration
+    def explore(self, max_states: int, with_parents: bool) -> Tuple[
+        int, int, bool, Optional[Tuple[int, int, int]], Optional[CsrParentStore]
+    ]:
+        """Run (or replay) the reachability search up to ``max_states``.
+
+        Compiled levels replay from the frozen arrays; missing levels are
+        compiled on demand, so cold and warm runs share one code path.
+
+        Returns:
+            ``(visited_count, levels, truncated, error, parents)``.
+        """
+        max_states = int(max_states)
+        visited_count = 1
+        levels = 0
+        truncated = False
+        error: Optional[Tuple[int, int, int]] = None
+        k = 0
+        while True:
+            if self.expanded_levels <= k and self.error is None and not self.complete:
+                self._expand_next_level()
+            levels += 1
+            if self.error is not None and self.error_level == k:
+                error = self.error
+                break
+            if len(self.level_ptr) <= k + 2:
+                break  # the expansion of level k discovered nothing new
+            level_size = self.level_ptr[k + 2] - self.level_ptr[k + 1]
+            remaining = max_states - visited_count
+            if level_size >= remaining:
+                truncated = True
+                visited_count += min(level_size, max(remaining, 0))
+                break
+            visited_count += level_size
+            k += 1
+        parents = CsrParentStore(self, visited_count) if with_parents else None
+        return visited_count, levels, truncated, error, parents
+
+
+class GenericParentStore(Mapping):
+    """Id-based predecessor store of a compiled generic graph (see
+    :class:`CsrParentStore`; labels here are edge labels, not masks)."""
+
+    __slots__ = ("_graph", "_count")
+
+    def __init__(self, graph: "GenericStateGraph", visible_count: int) -> None:
+        self._graph = graph
+        self._count = int(visible_count)
+
+    def _id_of(self, state: Hashable) -> int:
+        state_id = self._graph.id_of.get(state, -1)
+        if state_id < 1 or state_id >= self._count:
+            raise KeyError(state)
+        return state_id
+
+    def __getitem__(self, state: Hashable) -> Tuple[Hashable, Hashable]:
+        graph = self._graph
+        state_id = self._id_of(state)
+        return (
+            graph.states[graph.parent_ids[state_id - 1]],
+            graph.parent_labels[state_id - 1],
+        )
+
+    def __contains__(self, state: object) -> bool:
+        try:
+            self._id_of(state)
+        except (KeyError, TypeError):
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return max(self._count - 1, 0)
+
+    def __iter__(self):
+        return iter(self._graph.states[1 : self._count])
+
+
+class GenericStateGraph:
+    """Compiled id graph over an arbitrary successor function.
+
+    The generic counterpart of :class:`CompiledStateGraph` for hashable
+    opaque states (TA network states): states intern into dense ids through
+    a dict, the CSR lives in plain Python lists, and — crucially — the
+    graph is *predicate-independent*: the error predicate is evaluated per
+    query against the replayed levels, so one compiled network answers
+    error-reachability, invariant and state-count queries without
+    re-running a single ``successors`` call.  Cache one instance per
+    network via the ``cache`` slot of
+    :class:`~repro.verification.engine.GenericSource`.
+    """
+
+    __slots__ = (
+        "states",
+        "id_of",
+        "level_ptr",
+        "expanded_levels",
+        "complete",
+        "succ_indptr",
+        "succ_ids",
+        "succ_labels",
+        "parent_ids",
+        "parent_labels",
+        "_successors",
+    )
+
+    def __init__(self, initial: Hashable, successors) -> None:
+        self._successors = successors
+        self.states: List[Hashable] = [initial]
+        self.id_of: Dict[Hashable, int] = {initial: 0}
+        self.level_ptr: List[int] = [0, 1]
+        self.expanded_levels = 0
+        self.complete = False
+        self.succ_indptr: List[int] = [0]
+        self.succ_ids: List[int] = []
+        self.succ_labels: List[Hashable] = []
+        self.parent_ids: List[int] = []
+        self.parent_labels: List[Hashable] = []
+
+    def _expand_next_level(self) -> None:
+        k = self.expanded_levels
+        first, last = self.level_ptr[k], self.level_ptr[k + 1]
+        states = self.states
+        id_of = self.id_of
+        successors = self._successors
+        succ_ids = self.succ_ids
+        succ_labels = self.succ_labels
+        for state_id in range(first, last):
+            for successor, label in successors(states[state_id]):
+                succ_id = id_of.get(successor)
+                if succ_id is None:
+                    succ_id = len(states)
+                    id_of[successor] = succ_id
+                    states.append(successor)
+                    self.parent_ids.append(state_id)
+                    self.parent_labels.append(label)
+                succ_ids.append(succ_id)
+                succ_labels.append(label)
+            self.succ_indptr.append(len(succ_ids))
+        self.expanded_levels = k + 1
+        if len(states) == last:
+            self.complete = True
+        else:
+            self.level_ptr.append(len(states))
+
+    def explore(self, max_states: int, is_error, with_parents: bool) -> Tuple[
+        int,
+        int,
+        bool,
+        Optional[Tuple[Hashable, Hashable, Hashable]],
+        Optional[GenericParentStore],
+    ]:
+        """Replay (and extend on demand) the compiled graph for one query.
+
+        ``is_error`` runs once per newly accepted state per query, in id
+        (discovery) order — the error state is counted but never expanded
+        further by this query, matching the generic-source semantics of the
+        other engines.  Returns ``(visited_count, levels, truncated, error,
+        parents)`` with ``error = (parent state, label, error state)``.
+        """
+        max_states = int(max_states)
+        visited_count = 1
+        levels = 0
+        truncated = False
+        error: Optional[Tuple[Hashable, Hashable, Hashable]] = None
+        k = 0
+        while True:
+            if self.expanded_levels <= k and not self.complete:
+                self._expand_next_level()
+            levels += 1
+            if len(self.level_ptr) <= k + 2:
+                break
+            low, high = self.level_ptr[k + 1], self.level_ptr[k + 2]
+            remaining = max_states - visited_count
+            if high - low >= remaining:
+                truncated = True
+                high = low + max(remaining, 0)
+                visited_count += high - low
+            else:
+                visited_count += high - low
+            for state_id in range(low, high):
+                if is_error(self.states[state_id]):
+                    parent_id = self.parent_ids[state_id - 1]
+                    error = (
+                        self.states[parent_id],
+                        self.parent_labels[state_id - 1],
+                        self.states[state_id],
+                    )
+                    break
+            if error is not None or truncated:
+                break
+            k += 1
+        parents = GenericParentStore(self, visited_count) if with_parents else None
+        return visited_count, levels, truncated, error, parents
+
+
+def compiled_graph_for(system) -> CompiledStateGraph:
+    """Shared compiled graph of a packed system (built on first use).
+
+    Cached on the :class:`~repro.scheduler.packed.PackedSlotSystem` itself,
+    so it follows the ``packed_system_for`` per-configuration lifetime and
+    is released by ``clear_memo`` / ``clear_packed_caches`` together with
+    the successor memo.
+    """
+    graph = system.compiled_graph
+    if graph is None:
+        graph = CompiledStateGraph(system)
+        system.compiled_graph = graph
+    return graph

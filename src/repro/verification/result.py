@@ -3,12 +3,19 @@
 Both dataclasses are frozen *and* slotted: dimensioning flows hold on to one
 result per admission test, so the per-instance ``__dict__`` would be pure
 overhead, and slots also catch accidental attribute writes.
+
+:func:`replay_counterexample` is the shared back half of witness
+reconstruction: the exploration engines hand back a predecessor store — a
+plain dict for the loop engines, an id-based view for the compiled kernel —
+the verifier extracts the arrival sequence from it, and this function
+replays that sequence on the *tuple* semantics (the semantic source of
+truth) to produce the human-readable steps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,3 +114,41 @@ class VerificationResult:
             f"[{self.method}, {self.explored_states} states, {self.elapsed_seconds:.2f}s, "
             f"{self.states_per_second:,.0f} states/s]"
         )
+
+
+def replay_counterexample(
+    config, arrival_sequence: Sequence[Tuple[int, ...]]
+) -> Tuple[CounterexampleStep, ...]:
+    """Replay an arrival-index sequence into counterexample steps.
+
+    Args:
+        config: the :class:`~repro.scheduler.slot_system.SlotSystemConfig`
+            the witness belongs to.
+        arrival_sequence: per-sample tuples of application *indices* whose
+            disturbance is sensed at that sample, root first, ending with
+            the arrivals of the sample that misses.
+
+    The replay runs on the tuple-based
+    :func:`~repro.scheduler.slot_system.advance` — the semantic single
+    source of truth — so a reconstructed trace doubles as a cross-check of
+    the packed search that produced it.
+    """
+    # Imported here: repro.scheduler must stay importable without pulling
+    # the verification package (and this module is its result leaf).
+    from ..scheduler.slot_system import advance, initial_state
+
+    names = config.names
+    steps: List[CounterexampleStep] = []
+    state = initial_state(config)
+    for sample, arrivals in enumerate(arrival_sequence):
+        state, events = advance(config, state, arrivals)
+        occupant = None if state.slot_free() else names[state.occupant]
+        steps.append(
+            CounterexampleStep(
+                sample=sample,
+                arrivals=tuple(names[index] for index in arrivals),
+                occupant=occupant,
+                missed=tuple(names[index] for index in events.deadline_misses),
+            )
+        )
+    return tuple(steps)

@@ -18,6 +18,7 @@ from repro.scheduler.slot_system import SlotSystemConfig
 from repro.switching.profile import SwitchingProfile
 from repro.verification import (
     ENGINE_ENV_VAR,
+    CompiledKernelEngine,
     ExplorationOutcome,
     PackedStateSource,
     SequentialPackedEngine,
@@ -28,7 +29,7 @@ from repro.verification import (
 )
 from repro.verification.engine import GenericSource
 
-ENGINE_SPECS = ["sequential", "sharded:2", "vectorized"]
+ENGINE_SPECS = ["sequential", "sharded:2", "vectorized", "kernel"]
 
 
 def _engine_of(spec: str):
@@ -138,9 +139,10 @@ class TestEngineEquivalence:
         assert PackedSlotSystem(config).packed_words > 1
         reference = _explore("sequential", config)
         assert reference.feasible
-        outcome = _explore("vectorized", config)
-        assert outcome.feasible
-        assert outcome.visited_count == reference.visited_count
+        for spec in ("vectorized", "kernel"):
+            outcome = _explore(spec, config)
+            assert outcome.feasible, spec
+            assert outcome.visited_count == reference.visited_count, spec
 
 
 class TestEngineSemantics:
@@ -156,6 +158,8 @@ class TestEngineSemantics:
         assert sequential.visited_count == 40
         vectorized = _explore("vectorized", config, with_parents=False, max_states=40)
         assert vectorized.visited_count == 40
+        kernel = _explore("kernel", config, with_parents=False, max_states=40)
+        assert kernel.visited_count == 40
 
     def test_cap_above_state_space_never_truncates(
         self, small_profile, second_small_profile
@@ -193,7 +197,7 @@ class TestEngineSemantics:
         def successors(state):
             return [(succ, label) for succ, label in graph[state]]
 
-        for spec in ["sequential", "sharded:2"]:
+        for spec in ["sequential", "sharded:2", "kernel"]:
             source = GenericSource(
                 initial=0, successors=successors, is_error=lambda s: s == 3
             )
@@ -224,6 +228,7 @@ class TestEngineSelection:
     def test_spec_strings_resolve(self):
         assert isinstance(resolve_engine("sequential"), SequentialPackedEngine)
         assert isinstance(resolve_engine("vectorized"), VectorizedEngine)
+        assert isinstance(resolve_engine("kernel"), CompiledKernelEngine)
         sharded = resolve_engine("sharded:3")
         assert isinstance(sharded, ShardedEngine)
         assert sharded.workers == 3
