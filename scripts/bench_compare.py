@@ -13,12 +13,22 @@ Intended as the CI regression gate for the verification hot path::
 Exits non-zero when any benchmark of the selected group(s) is more than
 ``threshold`` (default 20%) slower in ``current`` than in ``baseline``.
 Benchmarks present in only one file are reported but never fail the gate.
+
+Two machine-facing outputs for CI:
+
+* ``--json-out PATH`` — write the full comparison (rows, failures, gate
+  verdict) as JSON, the artifact consumed by dashboards and by humans
+  regenerating the committed baseline from a CI run.
+* ``--github-summary [PATH]`` — append a markdown table to PATH, or to the
+  file named by ``$GITHUB_STEP_SUMMARY`` when PATH is omitted, so
+  regressions are visible directly in the GitHub Actions run page / PR UI.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, Tuple
 
@@ -57,6 +67,20 @@ def main(argv=None) -> int:
         help="seconds below which benchmarks never fail the gate (default "
         "1 ms): at microsecond scale the ratio measures timer noise, not "
         "regressions — e.g. the compiled kernel's warm replays",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="write the comparison (rows, failures, verdict) as JSON",
+    )
+    parser.add_argument(
+        "--github-summary",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="append a markdown table to PATH (default: $GITHUB_STEP_SUMMARY)",
     )
     args = parser.parse_args(argv)
 
@@ -103,6 +127,19 @@ def main(argv=None) -> int:
         ratio_text = f"{ratio:.2f}x" if ratio is not None else "-"
         print(f"{group:<14} {name:<48} {base_text:>10} {cur_text:>10} {ratio_text:>7}  {status}")
 
+    if args.json_out:
+        write_json_summary(args.json_out, args, rows, failures)
+    if args.github_summary is not None:
+        summary_path = args.github_summary or os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            append_github_summary(summary_path, args, rows, failures)
+        else:
+            print(
+                "warning: --github-summary given but $GITHUB_STEP_SUMMARY is "
+                "not set; skipping",
+                file=sys.stderr,
+            )
+
     if failures:
         print()
         for group, name, ratio in failures:
@@ -113,6 +150,67 @@ def main(argv=None) -> int:
         return 1
     print(f"\nall gated benchmarks within {args.threshold:.0%} of baseline")
     return 0
+
+
+def write_json_summary(path: str, args, rows, failures) -> None:
+    """Machine-readable comparison artifact (consumed by CI dashboards)."""
+    payload = {
+        "baseline": args.baseline,
+        "current": args.current,
+        "threshold": args.threshold,
+        "floor": args.floor,
+        "groups": sorted(args.group) if args.group else None,
+        "ok": not failures,
+        "rows": [
+            {
+                "group": group,
+                "name": name,
+                "baseline_mean_s": base_mean,
+                "current_mean_s": cur_mean,
+                "ratio": ratio,
+                "status": status,
+            }
+            for group, name, base_mean, cur_mean, ratio, status in rows
+        ],
+        "failures": [
+            {"group": group, "name": name, "ratio": ratio}
+            for group, name, ratio in failures
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"json summary written to {path}")
+
+
+def append_github_summary(path: str, args, rows, failures) -> None:
+    """Markdown table for the GitHub Actions step summary / PR UI."""
+    verdict = (
+        f"❌ **{len(failures)} regression(s)** beyond "
+        f"{args.threshold:.0%} of baseline"
+        if failures
+        else f"✅ all gated benchmarks within {args.threshold:.0%} of baseline"
+    )
+    lines = [
+        "## Benchmark gate",
+        "",
+        verdict,
+        "",
+        "| group | benchmark | baseline | current | ratio | status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for group, name, base_mean, cur_mean, ratio, status in rows:
+        base_text = f"{base_mean * 1e3:.2f} ms" if base_mean is not None else "—"
+        cur_text = f"{cur_mean * 1e3:.2f} ms" if cur_mean is not None else "—"
+        ratio_text = f"{ratio:.2f}x" if ratio is not None else "—"
+        marker = "**REGRESSION**" if status == "REGRESSION" else status
+        lines.append(
+            f"| {group} | `{name}` | {base_text} | {cur_text} | {ratio_text} | {marker} |"
+        )
+    lines.append("")
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+    print(f"markdown summary appended to {path}")
 
 
 if __name__ == "__main__":

@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests plus the benchmark regression gate.
+# CI gate: lint, tier-1 tests and the benchmark regression gate.
 #
-# Runs the full test suite, exports a fresh pytest-benchmark JSON and diffs
-# it against the committed baseline (benchmarks/baselines/baseline.json)
-# with scripts/bench_compare.py.  Exits non-zero when a test fails or when
-# any benchmark of the gated groups regresses beyond the threshold.
+# Mirrors the hosted pipeline (.github/workflows/ci.yml) so local and CI
+# gates stay identical: static checks (ruff + compileall), the full test
+# suite, then a fresh pytest-benchmark JSON diffed against the committed
+# baseline (benchmarks/baselines/baseline.json) with
+# scripts/bench_compare.py.  Exits non-zero when any stage fails or when a
+# benchmark of the gated groups regresses beyond the threshold.
 #
 # Environment knobs:
 #   BENCH_THRESHOLD  maximum tolerated relative slowdown (default 0.35 —
 #                    looser than bench_compare's 0.20 default because the
 #                    committed baseline was recorded on a different host).
 #   BENCH_GROUPS     space-separated benchmark groups to gate on
-#                    (default: "verification engines kernel").
+#                    (default: "verification engines kernel expansion").
 #   BENCH_JSON       where to write the fresh export (default: a temp file).
-#   SKIP_TESTS=1     only run the benchmark gate (e.g. after a test-only CI
-#                    stage already ran the suite).
+#   BENCH_REPORT     optional path for bench_compare's --json-out summary
+#                    (uploaded as a CI artifact).
+#   SKIP_TESTS=1     only run lint + the benchmark gate (e.g. after a
+#                    test-only CI stage already ran the suite).
+#   SKIP_LINT=1      skip the static checks (ruff + compileall).
+#
+# When $GITHUB_STEP_SUMMARY is set (GitHub Actions), the gate also appends
+# its markdown table there.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,12 +32,22 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 BASELINE="benchmarks/baselines/baseline.json"
 THRESHOLD="${BENCH_THRESHOLD:-0.35}"
 # (Not named GROUPS: that is a readonly bash builtin.)
-GATE_GROUPS=(${BENCH_GROUPS:-verification engines kernel})
+GATE_GROUPS=(${BENCH_GROUPS:-verification engines kernel expansion})
 CURRENT="${BENCH_JSON:-$(mktemp /tmp/bench-current.XXXXXX.json)}"
 
 if [[ ! -f "$BASELINE" ]]; then
     echo "error: committed baseline $BASELINE is missing" >&2
     exit 2
+fi
+
+if [[ "${SKIP_LINT:-0}" != "1" ]]; then
+    echo "== lint =="
+    if command -v ruff >/dev/null 2>&1; then
+        ruff check src tests benchmarks scripts examples
+    else
+        echo "ruff not installed; skipping (the hosted lint job enforces it)"
+    fi
+    python -m compileall -q src tests benchmarks scripts examples
 fi
 
 if [[ "${SKIP_TESTS:-0}" != "1" ]]; then
@@ -45,5 +63,13 @@ GROUP_ARGS=()
 for group in "${GATE_GROUPS[@]}"; do
     GROUP_ARGS+=(--group "$group")
 done
+EXTRA_ARGS=()
+if [[ -n "${BENCH_REPORT:-}" ]]; then
+    EXTRA_ARGS+=(--json-out "$BENCH_REPORT")
+fi
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    EXTRA_ARGS+=(--github-summary)
+fi
 python scripts/bench_compare.py "$BASELINE" "$CURRENT" \
-    "${GROUP_ARGS[@]}" --threshold "$THRESHOLD"
+    "${GROUP_ARGS[@]}" --threshold "$THRESHOLD" \
+    ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Measure the sharded engine's multi-worker speedup on real cores.
+
+The development container is single-core, so the parallel win of
+``ShardedEngine`` could never be demonstrated locally (see PERFORMANCE.md).
+This script is the CI-side measurement: it times the slot-S1 feasibility
+query cold on the sequential engine and on the sharded engine with the
+requested worker counts, asserts state-space identity, and emits
+
+* a human-readable table on stdout,
+* ``--json-out PATH`` — the machine-readable record uploaded as the
+  ``shard-speedup`` CI artifact (paste the numbers into PERFORMANCE.md and
+  recalibrate ``REPRO_AUTO_SHARD_THRESHOLD`` from them),
+* a markdown section appended to ``$GITHUB_STEP_SUMMARY`` when set.
+
+Usage::
+
+    PYTHONPATH=src python scripts/shard_speedup.py --workers 2 4 \
+        --json-out shard-speedup.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def measure(engine: str, rounds: int):
+    """Cold wall-clock of the slot-S1 query on one engine (best of rounds)."""
+    from repro.casestudy import paper_profiles
+    from repro.scheduler.packed import clear_packed_caches
+    from repro.verification import instance_budgets, verify_slot_sharing
+
+    profiles = paper_profiles()
+    slot = [profiles[name] for name in ("C1", "C5", "C4", "C3")]
+    budgets = instance_budgets(slot)
+    best = None
+    states = None
+    for _ in range(rounds):
+        clear_packed_caches()
+        start = time.perf_counter()
+        result = verify_slot_sharing(
+            slot, instance_budget=budgets, with_counterexample=False, engine=engine
+        )
+        elapsed = time.perf_counter() - start
+        if not result.feasible:
+            raise SystemExit(f"engine {engine!r} reported slot S1 infeasible")
+        if states is None:
+            states = result.explored_states
+        elif states != result.explored_states:
+            raise SystemExit(
+                f"engine {engine!r} state-count mismatch: "
+                f"{result.explored_states} vs {states}"
+            )
+        best = elapsed if best is None else min(best, elapsed)
+    return best, states
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[2, 4],
+        help="sharded worker counts to measure (default: 2 4)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=2, help="cold rounds per engine (best kept)"
+    )
+    parser.add_argument("--json-out", default=None, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    from repro.verification import available_worker_count
+
+    cores = available_worker_count()
+    rows = []
+    sequential, states = measure("sequential", args.rounds)
+    rows.append(("sequential", sequential, 1.0))
+    reference_states = states
+    for workers in args.workers:
+        elapsed, states = measure(f"sharded:{workers}", args.rounds)
+        if states != reference_states:
+            raise SystemExit(
+                f"sharded:{workers} state-count mismatch: "
+                f"{states} vs {reference_states}"
+            )
+        rows.append((f"sharded:{workers}", elapsed, sequential / elapsed))
+
+    print(f"slot S1 cold feasibility query, {reference_states:,} states, "
+          f"{cores} usable core(s)")
+    print(f"{'engine':<14} {'wall-clock':>12} {'speedup':>9}")
+    for name, elapsed, speedup in rows:
+        print(f"{name:<14} {elapsed * 1e3:>10.1f}ms {speedup:>8.2f}x")
+    if cores < 2:
+        print(
+            "note: single-core host — sharded numbers measure IPC overhead, "
+            "not parallel speedup"
+        )
+
+    payload = {
+        "instance": "slot S1 accelerated",
+        "explored_states": reference_states,
+        "usable_cores": cores,
+        "rounds": args.rounds,
+        "results": [
+            {"engine": name, "seconds": elapsed, "speedup_vs_sequential": speedup}
+            for name, elapsed, speedup in rows
+        ],
+    }
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"json record written to {args.json_out}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        lines = [
+            "## Sharded-engine speedup (slot S1, cold)",
+            "",
+            f"{reference_states:,} states, {cores} usable core(s)",
+            "",
+            "| engine | wall-clock | speedup |",
+            "|---|---:|---:|",
+        ]
+        for name, elapsed, speedup in rows:
+            lines.append(f"| {name} | {elapsed * 1e3:.1f} ms | {speedup:.2f}x |")
+        lines.append("")
+        with open(summary_path, "a") as handle:
+            handle.write("\n".join(lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,13 +18,11 @@ from ..casestudy.paper_tables import (
     PAPER_TABLE1,
     PaperTableRow,
 )
-from ..casestudy.plants import all_applications
 from ..casestudy.profiles import computed_profiles, paper_profiles
 from ..dimensioning.first_fit import (
     DimensioningOutcome,
     FirstFitDimensioner,
     default_admission_test,
-    paper_sort_order,
 )
 from ..scheduler.baseline import BaselineDimensioningResult, BaselineStrategy, dimension_baseline
 from ..switching.profile import SwitchingProfile

@@ -14,9 +14,8 @@ closed-loop simulator produces the responses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence
 
-import numpy as np
 
 from ..casestudy.plants import all_applications
 from ..casestudy.profiles import paper_profiles

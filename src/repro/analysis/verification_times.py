@@ -14,7 +14,7 @@ with and without the instance budgets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from ..casestudy.profiles import paper_profiles
 from ..switching.profile import SwitchingProfile

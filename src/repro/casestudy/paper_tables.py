@@ -11,7 +11,7 @@ All timing quantities are expressed in numbers of samples (h = 0.02 s).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)

@@ -21,8 +21,8 @@ used here (see DESIGN.md, "Where our numbers may differ").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 

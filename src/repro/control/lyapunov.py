@@ -18,7 +18,7 @@ and correctly reports failure for the unstable pairing ``(K_T, K^u_E)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy import linalg as sla

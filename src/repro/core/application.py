@@ -14,7 +14,7 @@ exposes the per-application analyses of the paper as methods:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

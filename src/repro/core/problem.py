@@ -11,8 +11,8 @@ switching profiles) and runs the paper's end-to-end flow:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..dimensioning.first_fit import (
     AdmissionTest,

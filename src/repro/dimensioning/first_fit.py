@@ -19,7 +19,7 @@ injected instead (the latter reproduces the 4-slot baseline of [9]).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import MappingError
@@ -103,6 +103,7 @@ def default_admission_test(
     max_states: Optional[int] = None,
     use_acceleration: bool = True,
     engine: object = None,
+    graph_dir: Optional[str] = None,
 ) -> AdmissionTest:
     """Admission test backed by the exhaustive verifier.
 
@@ -128,6 +129,11 @@ def default_admission_test(
             re-probed configuration replays its frozen graph instead of
             re-exploring — and the default ``"auto"`` spec upgrades to the
             replay automatically once a configuration's graph is compiled.
+        graph_dir: optional directory of serialized compiled state graphs
+            forwarded to the verifier (``REPRO_GRAPH_DIR`` also applies):
+            admission tests of configurations verified by *other*
+            processes — earlier CI jobs, sibling dimensioning workers —
+            start from the shipped graph and replay instead of exploring.
     """
     verdicts: Dict[Tuple[SwitchingProfile, ...], bool] = {}
 
@@ -145,6 +151,7 @@ def default_admission_test(
             instance_budget=budget,
             with_counterexample=False,
             engine=engine,
+            graph_dir=graph_dir,
             **kwargs,
         )
         if result.truncated:
@@ -167,6 +174,9 @@ class FirstFitDimensioner:
             one slot; defaults to the exhaustive verifier with acceleration.
         engine: exploration-engine spec forwarded to the default admission
             test (ignored when an explicit ``admission_test`` is given).
+        graph_dir: compiled-graph cache directory forwarded to the default
+            admission test (ignored when an explicit ``admission_test`` is
+            given).
     """
 
     def __init__(
@@ -174,11 +184,14 @@ class FirstFitDimensioner:
         profiles: Mapping[str, SwitchingProfile],
         admission_test: Optional[AdmissionTest] = None,
         engine: object = None,
+        graph_dir: Optional[str] = None,
     ) -> None:
         if not profiles:
             raise MappingError("at least one application profile is required")
         self.profiles: Dict[str, SwitchingProfile] = dict(profiles)
-        self.admission_test = admission_test or default_admission_test(engine=engine)
+        self.admission_test = admission_test or default_admission_test(
+            engine=engine, graph_dir=graph_dir
+        )
 
     def dimension(self, order: Optional[Sequence[str]] = None) -> DimensioningOutcome:
         """Run the first-fit flow and return the slot partition.
@@ -237,6 +250,9 @@ def dimension_with_verification(
     order: Optional[Sequence[str]] = None,
     admission_test: Optional[AdmissionTest] = None,
     engine: object = None,
+    graph_dir: Optional[str] = None,
 ) -> DimensioningOutcome:
     """Convenience wrapper: first-fit dimensioning with the default verifier."""
-    return FirstFitDimensioner(profiles, admission_test, engine=engine).dimension(order)
+    return FirstFitDimensioner(
+        profiles, admission_test, engine=engine, graph_dir=graph_dir
+    ).dimension(order)

@@ -19,8 +19,7 @@ segment analysis in the style of Pop et al.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
 
 from ..exceptions import ConfigurationError
 

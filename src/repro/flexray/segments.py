@@ -11,8 +11,7 @@ of the load-dependent ET delay).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
 from .config import FlexRayConfig, Message

@@ -12,9 +12,8 @@ to later cycles while the remaining mini-slots are insufficient.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Sequence
 
 from ..exceptions import ConfigurationError
 from .config import FlexRayConfig, Message

@@ -47,7 +47,6 @@ from ..exceptions import SchedulingError
 from .slot_system import (
     DONE,
     HOLDING,
-    NO_OCCUPANT,
     SAFE,
     STEADY,
     WAITING,
@@ -56,6 +55,21 @@ from .slot_system import (
     StepEvents,
     initial_state,
 )
+
+def unpack_words(word_matrix) -> List[int]:
+    """Rebuild packed Python ints from ``uint64`` word rows.
+
+    Inverse of :meth:`PackedSlotSystem.pack_words` (most significant word
+    first); one bulk conversion, no per-state Python loop for the common
+    single-word case.
+    """
+    if word_matrix.shape[1] == 1:
+        return word_matrix[:, 0].tolist()
+    acc = word_matrix[:, 0].astype(object)
+    for j in range(1, word_matrix.shape[1]):
+        acc = (acc << 64) | word_matrix[:, j].astype(object)
+    return acc.tolist()
+
 
 #: Numeric phase tags used inside the packed representation.
 TAG_STEADY = 0
@@ -159,6 +173,10 @@ class PackedSlotSystem:
         #: by :func:`repro.verification.kernel.compiled_graph_for` and
         #: released together with the successor memo (:meth:`clear_memo`).
         self.compiled_graph = None
+        # Vectorized frontier-expansion kernel, built on first use (pure
+        # configuration data, so it survives `clear_memo` like the block
+        # memo does).
+        self._expander: Optional[_FrontierExpander] = None
         self.initial = self.encode(initial_state(config))
 
     # ------------------------------------------------------------- encoding
@@ -235,7 +253,6 @@ class PackedSlotSystem:
     # --------------------------------------------------------------- events
     def events_from_bits(self, event_bits: int) -> StepEvents:
         """Expand an event bit field into the tuple-based :class:`StepEvents`."""
-        n = self._n
         return StepEvents(
             admitted=self.indices_of_mask((event_bits >> self._ev_admitted_shift) & self.miss_field),
             granted=self._ev_index(event_bits, self._ev_granted_shift),
@@ -419,6 +436,90 @@ class PackedSlotSystem:
                 matrix[row, j] = (state >> (64 * (words - 1 - j))) & mask
         return matrix
 
+    def _frontier_expander(self) -> "_FrontierExpander":
+        expander = self._expander
+        if expander is None:
+            expander = _FrontierExpander(self)
+            self._expander = expander
+        return expander
+
+    @property
+    def can_expand_frontier(self) -> bool:
+        """Whether :meth:`expand_frontier` supports this configuration.
+
+        True for every realistic system; only configurations whose event
+        bit field or grant-priority key cannot fit a single 64-bit word
+        (dozens of applications per slot, astronomical wait bounds) fall
+        back to the per-state expansion.
+        """
+        return self._frontier_expander().ok
+
+    def expand_frontier(self, word_matrix):
+        """Expand a whole frontier of packed states in one vectorized pass.
+
+        The block-table expansion kernel: per-application XOR-delta block
+        tables and the arrival-subset enumeration are precompiled into flat
+        numpy arrays (see :class:`_FrontierExpander`), so the entire
+        frontier expands with a fixed sequence of gathers and XORs — no
+        Python loop per state, the cold-exploration workhorse of the
+        vectorized / compiled-kernel / sharded engines.
+
+        Args:
+            word_matrix: ``(count, packed_words)`` ``uint64`` array of
+                packed states as word rows (:meth:`pack_words` layout).
+
+        Returns:
+            ``(succ_words, event_bits, origin_index)`` — one row per
+            transition, ordered per state exactly like :meth:`successors`
+            (subsets ascending by size, then lexicographically):
+            ``succ_words`` is ``(transitions, packed_words)`` ``uint64``,
+            ``event_bits`` the ``uint64`` event field of each transition
+            (feed single values to :meth:`events_from_bits`; arrival masks
+            sit at ``_ev_admitted_shift``), ``origin_index`` the frontier
+            row each transition expands.
+
+        Raises:
+            SchedulingError: when the configuration cannot use the
+                vectorized kernel (see :attr:`can_expand_frontier`).
+        """
+        import numpy as np
+
+        expander = self._frontier_expander()
+        if not expander.ok:
+            raise SchedulingError(
+                "configuration too wide for the vectorized expansion kernel; "
+                "check can_expand_frontier and use successors()/"
+                "successor_tables_words() instead"
+            )
+        matrix = np.ascontiguousarray(word_matrix, dtype=np.uint64).reshape(
+            -1, self.packed_words
+        )
+        return expander.expand(matrix)
+
+    def successor_tables_words(self, word_matrix):
+        """Successor tables of a frontier given as packed word rows.
+
+        Word-level counterpart of :meth:`successor_tables` — returns the
+        same ``(indptr, successors, masks, miss)`` tuple but takes (and
+        never converts to Python ints) a ``(count, packed_words)``
+        ``uint64`` frontier.  Runs on :meth:`expand_frontier` when the
+        configuration supports it and falls back to the per-state memoized
+        expansion otherwise.
+        """
+        import numpy as np
+
+        if self.can_expand_frontier:
+            succ_words, events, origin = self.expand_frontier(word_matrix)
+            count = word_matrix.shape[0]
+            indptr = np.zeros(count + 1, dtype=np.int64)
+            np.cumsum(np.bincount(origin, minlength=count), out=indptr[1:])
+            masks = (events >> np.uint64(self._ev_admitted_shift)) & np.uint64(
+                self.miss_field
+            )
+            miss = (events & np.uint64(self.miss_field)) != 0
+            return indptr, succ_words, masks, miss
+        return self.successor_tables(unpack_words(word_matrix))
+
     def successor_tables(self, states: Sequence[int]):
         """Export the successor lists of a state batch as numpy tables.
 
@@ -459,38 +560,45 @@ class PackedSlotSystem:
 
         local: Dict[int, tuple] = {}
         if missing:
-            from itertools import chain
-
-            successors = self.successors
-            miss_field = self.miss_field
-            word_mask = (1 << 64) - 1
-            entry_lists = [successors(state) for state in missing]
-            counts = [len(entries) for entries in entry_lists]
-            total = sum(counts)
-            flat = list(chain.from_iterable(entry_lists))
-            succ_matrix = np.empty((total, words), dtype=np.uint64)
-            if words == 1:
-                succ_matrix[:, 0] = np.fromiter(
-                    (entry[1] for entry in flat), dtype=np.uint64, count=total
+            if self.can_expand_frontier:
+                # Vectorized block-table kernel: the whole uncached batch
+                # expands in one pass, no per-state Python work at all.
+                offsets, succ_matrix, masks, miss = self.successor_tables_words(
+                    self.pack_words(missing)
                 )
             else:
-                for j in range(words):
-                    shift = 64 * (words - 1 - j)
-                    succ_matrix[:, j] = np.fromiter(
-                        ((entry[1] >> shift) & word_mask for entry in flat),
-                        dtype=np.uint64,
-                        count=total,
+                from itertools import chain
+
+                successors = self.successors
+                miss_field = self.miss_field
+                word_mask = (1 << 64) - 1
+                entry_lists = [successors(state) for state in missing]
+                counts = [len(entries) for entries in entry_lists]
+                total = sum(counts)
+                flat = list(chain.from_iterable(entry_lists))
+                succ_matrix = np.empty((total, words), dtype=np.uint64)
+                if words == 1:
+                    succ_matrix[:, 0] = np.fromiter(
+                        (entry[1] for entry in flat), dtype=np.uint64, count=total
                     )
-            masks = np.fromiter(
-                (entry[0] for entry in flat), dtype=np.uint64, count=total
-            )
-            miss = np.fromiter(
-                (bool(entry[2] & miss_field) for entry in flat),
-                dtype=bool,
-                count=total,
-            )
-            offsets = np.zeros(len(missing) + 1, dtype=np.int64)
-            np.cumsum(counts, out=offsets[1:])
+                else:
+                    for j in range(words):
+                        shift = 64 * (words - 1 - j)
+                        succ_matrix[:, j] = np.fromiter(
+                            ((entry[1] >> shift) & word_mask for entry in flat),
+                            dtype=np.uint64,
+                            count=total,
+                        )
+                masks = np.fromiter(
+                    (entry[0] for entry in flat), dtype=np.uint64, count=total
+                )
+                miss = np.fromiter(
+                    (bool(entry[2] & miss_field) for entry in flat),
+                    dtype=bool,
+                    count=total,
+                )
+                offsets = np.zeros(len(missing) + 1, dtype=np.int64)
+                np.cumsum(counts, out=offsets[1:])
             if len(missing) == len(normalized):
                 # Fast path: every requested state was uncached and unique
                 # (the cold BFS level) — the batch arrays already are the
@@ -758,6 +866,366 @@ class PackedSlotSystem:
             )
             results.append((amask, succ, event_bits))
         return tuple(results)
+
+
+class _FrontierExpander:
+    """Vectorized block-table expansion kernel of one packed system.
+
+    Backs :meth:`PackedSlotSystem.expand_frontier`: the per-application
+    block tables (:meth:`PackedSlotSystem._block_info` — clock-advanced
+    block, XOR deltas per role, grant priority, flags) are compiled into
+    flat numpy arrays keyed by dense *block rows*, and the arrival-subset
+    enumeration per eligible mask into a padded ``uint64`` lookup table, so
+    expanding a whole frontier of packed states is a fixed sequence of
+    numpy gathers, XORs and one ``argmin`` — no Python work per state or
+    per transition.
+
+    The expansion mirrors :meth:`PackedSlotSystem._expand` exactly; the
+    reductions that make it vectorizable:
+
+    * the successor's *buffer order* is never materialized (the packed
+      state stores only the member mask), so of the arbiter's slack-sorted
+      merge only the **head** matters — the granted application is the
+      ``argmin`` of a per-application composite priority key
+      ``(slack, -wait, index)`` packed into one ``int64`` over the members
+      of ``buffer | arrivals``;
+    * the deadline-miss field of the events is subset-independent: arrivals
+      are steady (miss bit 0), so the miss mask is the OR of the *buffer*
+      members' miss bits however the grant falls.
+
+    Only encodings whose event bit field and priority key fit one
+    ``uint64``/``int64`` are supported (:attr:`ok`); callers fall back to
+    the per-state path otherwise (astronomically large configurations).
+    """
+
+    def __init__(self, system: "PackedSlotSystem") -> None:
+        import numpy as np
+
+        self.system = system
+        n = system._n
+        self.n = n
+        self.words = system.packed_words
+        self._np = np
+
+        self._occ_bits = system._occ_field.bit_length()
+        self._block_bits = [mask.bit_length() for mask in system._block_mask]
+        # Composite grant-priority key: ((slack + bias) << sh1) |
+        # ((bias - wait) << sh0) | index, ordered like (slack, -wait, index).
+        wait_bits = max(mask.bit_length() for mask in system._c1_mask)
+        idx_bits = max((n - 1).bit_length(), 1)
+        self._prio_bias = 1 << wait_bits
+        self._prio_sh0 = idx_bits
+        self._prio_sh1 = idx_bits + wait_bits + 1
+        prio_width = self._prio_sh1 + wait_bits + 1
+        event_width = system._ev_released_shift + self._occ_bits
+        #: Whether the single-word event / priority encodings fit (and the
+        #: numpy runtime is recent enough — ``bitwise_count`` needs 2.0);
+        #: when False, ``expand_frontier`` is unavailable and callers use
+        #: the per-state expansion instead.
+        self.ok = (
+            event_width <= 64
+            and prio_width <= 62
+            and max(self._block_bits) <= 64
+            and n <= 62
+            and hasattr(np, "bitwise_count")
+        )
+
+        # Per-application block tables: dense row per distinct block value,
+        # staged in Python lists and rebuilt into flat arrays when new
+        # blocks appear (the distinct-block count per application is tiny).
+        self._row_of: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self._staging: List[List[tuple]] = [[] for _ in range(n)]
+        self._tables: List[Optional[dict]] = [None] * n
+        self._subset_arrays: Dict[int, object] = {}
+        # Direct block-value -> table-row lookup (-1 = not interned yet);
+        # skips the np.unique pass per application per level.  Falls back
+        # to the unique-and-dict path for very wide block fields.
+        self._dense_rows: List[Optional[object]] = [
+            np.full(1 << bits, -1, dtype=np.int64) if bits <= 20 else None
+            for bits in self._block_bits
+        ]
+        # Dense padded arrival-subset LUT over all eligible-mask values,
+        # filled lazily row by row (small n only; one row per mask value).
+        if self.ok and n <= 10:
+            self._lut = np.zeros((1 << n, 1 << n), dtype=np.uint64)
+            self._lut_filled = np.zeros(1 << n, dtype=bool)
+        else:
+            self._lut = None
+            self._lut_filled = None
+
+    # ------------------------------------------------------------- internals
+    def _to_words(self, value: int) -> Tuple[int, ...]:
+        """Split one packed-width int into uint64 words (MSW first)."""
+        mask = (1 << 64) - 1
+        words = self.words
+        return tuple((value >> (64 * (words - 1 - j))) & mask for j in range(words))
+
+    def _extract(self, matrix, shift: int, width: int):
+        """Gather a bit field from every word row (handles word straddle)."""
+        np = self._np
+        col = self.words - 1 - shift // 64
+        off = shift % 64
+        values = matrix[:, col] >> np.uint64(off) if off else matrix[:, col]
+        if off and col > 0 and off + width > 64:
+            values = values | (matrix[:, col - 1] << np.uint64(64 - off))
+        return values & np.uint64((1 << width) - 1)
+
+    def _add_block(self, index: int, block: int) -> int:
+        """Intern one block value: compute its table row from the block info."""
+        system = self.system
+        memo = system._block_memo[index]
+        info = memo.get(block)
+        if info is None:
+            info = system._block_info(index, block)
+            memo[block] = info
+        (adv, wait, elig, recov, release, preempt, post, arr, arrg, bufg, miss,
+         slack) = info
+        prio = (
+            ((slack + self._prio_bias) << self._prio_sh1)
+            | ((self._prio_bias - wait) << self._prio_sh0)
+            | index
+        )
+        row = len(self._row_of[index])
+        self._row_of[index][block] = row
+        self._staging[index].append(
+            (
+                self._to_words(adv),
+                self._to_words(post),
+                self._to_words(arr),
+                self._to_words(arrg),
+                self._to_words(bufg),
+                prio,
+                elig,
+                recov,
+                miss,
+                release,
+                preempt,
+            )
+        )
+        self._tables[index] = None
+        return row
+
+    def _table(self, index: int) -> dict:
+        """Flat numpy arrays of one application's block table (rebuilt lazily)."""
+        table = self._tables[index]
+        if table is None:
+            np = self._np
+            rows = self._staging[index]
+            table = {
+                "adv": np.array([r[0] for r in rows], dtype=np.uint64),
+                "post": np.array([r[1] for r in rows], dtype=np.uint64),
+                "arr": np.array([r[2] for r in rows], dtype=np.uint64),
+                "arrg": np.array([r[3] for r in rows], dtype=np.uint64),
+                "bufg": np.array([r[4] for r in rows], dtype=np.uint64),
+                "prio": np.array([r[5] for r in rows], dtype=np.int64),
+                "elig": np.array([r[6] for r in rows], dtype=np.uint64),
+                "recov": np.array([r[7] for r in rows], dtype=np.uint64),
+                "miss": np.array([r[8] for r in rows], dtype=np.uint64),
+                "release": np.array([r[9] for r in rows], dtype=bool),
+                "preempt": np.array([r[10] for r in rows], dtype=bool),
+            }
+            self._tables[index] = table
+        return table
+
+    def _block_rows(self, index: int, blocks):
+        """Map a column of block values to dense table rows (interning new ones)."""
+        np = self._np
+        dense = self._dense_rows[index]
+        if dense is not None:
+            positions = blocks.astype(np.int64)
+            rows = dense[positions]
+            if (rows < 0).any():
+                for value in np.unique(positions[rows < 0]).tolist():
+                    dense[value] = self._add_block(index, value)
+                rows = dense[positions]
+            return rows
+        unique, inverse = np.unique(blocks, return_inverse=True)
+        mapping = self._row_of[index]
+        rows = np.empty(unique.size, dtype=np.int64)
+        for j, value in enumerate(unique.tolist()):
+            row = mapping.get(value)
+            if row is None:
+                row = self._add_block(index, value)
+            rows[j] = row
+        return rows[inverse]
+
+    def _subset_array(self, eligible_value: int):
+        """Cached ``uint64`` array of one eligible mask's arrival subsets."""
+        np = self._np
+        array = self._subset_arrays.get(eligible_value)
+        if array is None:
+            array = np.array(
+                self.system.arrival_subsets(eligible_value), dtype=np.uint64
+            )
+            self._subset_arrays[eligible_value] = array
+        return array
+
+    def _subset_lut(self, eligible):
+        """Arrival-subset lookup: ``(lut, row_index)`` per frontier state."""
+        np = self._np
+        if self._lut is not None:
+            rows = eligible.astype(np.int64)
+            filled = self._lut_filled
+            if not filled[rows].all():
+                for value in np.unique(rows[~filled[rows]]).tolist():
+                    array = self._subset_array(value)
+                    self._lut[value, : array.size] = array
+                    filled[value] = True
+            return self._lut, rows
+        unique, inverse = np.unique(eligible, return_inverse=True)
+        arrays = [self._subset_array(value) for value in unique.tolist()]
+        width = max(array.size for array in arrays)
+        lut = np.zeros((len(arrays), width), dtype=np.uint64)
+        for row, array in enumerate(arrays):
+            lut[row, : array.size] = array
+        return lut, inverse
+
+    # ------------------------------------------------------------- expansion
+    def expand(self, matrix):
+        """Expand every state of a word-row frontier (see ``expand_frontier``)."""
+        np = self._np
+        system = self.system
+        n = self.n
+        words = self.words
+        count = matrix.shape[0]
+        if count == 0:
+            return (
+                np.zeros((0, words), dtype=np.uint64),
+                np.zeros(0, dtype=np.uint64),
+                np.zeros(0, dtype=np.int64),
+            )
+
+        # ---- per-state gathers from the block tables ----------------------
+        base = np.zeros((count, words), dtype=np.uint64)
+        eligible = np.zeros(count, dtype=np.uint64)
+        recovered = np.zeros(count, dtype=np.uint64)
+        buffer_mask = self._extract(matrix, system._buf_shift, n)
+        miss_state = np.zeros(count, dtype=np.uint64)
+        arr_of: List = [None] * n
+        arrg_of: List = [None] * n
+        bufg_of: List = [None] * n
+        post_of: List = [None] * n
+        prio_of: List = [None] * n
+        release_of: List = [None] * n
+        preempt_of: List = [None] * n
+        zero = np.uint64(0)
+        for i in range(n):
+            blocks = self._extract(matrix, system._app_shift[i], self._block_bits[i])
+            rows = self._block_rows(i, blocks)
+            table = self._table(i)
+            base ^= table["adv"][rows]
+            eligible |= table["elig"][rows]
+            recovered |= table["recov"][rows]
+            in_buffer = ((buffer_mask >> np.uint64(i)) & np.uint64(1)).astype(bool)
+            miss_state |= np.where(in_buffer, table["miss"][rows], zero)
+            arr_of[i] = table["arr"][rows]
+            arrg_of[i] = table["arrg"][rows]
+            bufg_of[i] = table["bufg"][rows]
+            post_of[i] = table["post"][rows]
+            prio_of[i] = table["prio"][rows]
+            release_of[i] = table["release"][rows]
+            preempt_of[i] = table["preempt"][rows]
+
+        occupant = (
+            self._extract(matrix, system._occ_shift, self._occ_bits).astype(np.int64)
+            - 1
+        )
+        occ_release = np.zeros(count, dtype=bool)
+        occ_preempt = np.zeros(count, dtype=bool)
+        occ_post = np.zeros((count, words), dtype=np.uint64)
+        for i in range(n):
+            held = occupant == i
+            if held.any():
+                occ_release[held] = release_of[i][held]
+                occ_preempt[held] = preempt_of[i][held]
+                occ_post[held] = post_of[i][held]
+
+        # ---- one transition row per (state, arrival subset) ---------------
+        counts = np.int64(1) << np.bitwise_count(eligible).astype(np.int64)
+        indptr = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        origin = np.repeat(np.arange(count, dtype=np.int64), counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(indptr[:-1], counts)
+        lut, lut_row = self._subset_lut(eligible)
+        amask = lut[lut_row[origin], within]
+
+        merged = buffer_mask[origin] | amask
+        merged_nonempty = merged != 0
+        freed_release = occ_release[origin]
+        freed_preempt = occ_preempt[origin] & ~freed_release & merged_nonempty
+        exits = freed_release | freed_preempt
+        slot_free = (occupant[origin] < 0) | exits
+        grants = slot_free & merged_nonempty
+
+        # Granted application: argmin of the composite (slack, -wait, index)
+        # key over the members of buffer | arrivals.
+        infinity = np.iinfo(np.int64).max
+        keys = np.full((total, n), infinity, dtype=np.int64)
+        for i in range(n):
+            member = ((merged >> np.uint64(i)) & np.uint64(1)).astype(bool)
+            keys[:, i] = np.where(member, prio_of[i][origin], infinity)
+        granted = np.argmin(keys, axis=1).astype(np.int64)
+
+        succ = base[origin]
+        if exits.any():
+            rows = np.flatnonzero(exits)
+            succ[rows] ^= occ_post[origin[rows]]
+        for i in range(n):
+            arriving = ((amask >> np.uint64(i)) & np.uint64(1)).astype(bool)
+            rows = np.flatnonzero(arriving)
+            if rows.size:
+                succ[rows] ^= arr_of[i][origin[rows]]
+            wins = grants & (granted == i)
+            from_arrival = np.flatnonzero(wins & arriving)
+            if from_arrival.size:
+                gathered = origin[from_arrival]
+                succ[from_arrival] ^= arr_of[i][gathered] ^ arrg_of[i][gathered]
+            from_buffer = np.flatnonzero(wins & ~arriving)
+            if from_buffer.size:
+                succ[from_buffer] ^= bufg_of[i][origin[from_buffer]]
+
+        next_occupant = np.where(
+            grants, granted, np.where(exits, np.int64(-1), occupant[origin])
+        )
+        granted_bit = np.where(
+            grants, np.uint64(1) << granted.astype(np.uint64), zero
+        )
+        next_buffer = merged & ~granted_bit
+
+        # ---- occupant + buffer fields placed into the word rows -----------
+        tail = (next_occupant + 1).astype(np.uint64) | (
+            next_buffer << np.uint64(self._occ_bits)
+        )
+        col = words - 1 - system._occ_shift // 64
+        off = system._occ_shift % 64
+        succ[:, col] |= tail << np.uint64(off) if off else tail
+        if off and col > 0:
+            succ[:, col - 1] |= tail >> np.uint64(64 - off)
+
+        # ---- event bit field ----------------------------------------------
+        events = (
+            miss_state[origin]
+            | (recovered[origin] << np.uint64(system._ev_recovered_shift))
+            | (amask << np.uint64(system._ev_admitted_shift))
+            | (
+                np.where(grants, granted + 1, np.int64(0)).astype(np.uint64)
+                << np.uint64(system._ev_granted_shift)
+            )
+            | (
+                np.where(freed_preempt, occupant[origin] + 1, np.int64(0)).astype(
+                    np.uint64
+                )
+                << np.uint64(system._ev_preempted_shift)
+            )
+            | (
+                np.where(freed_release, occupant[origin] + 1, np.int64(0)).astype(
+                    np.uint64
+                )
+                << np.uint64(system._ev_released_shift)
+            )
+        )
+        return succ, events, origin
 
 
 def advance_packed(

@@ -14,15 +14,14 @@ closed-loop response curves via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..control.disturbance import DisturbanceTrace
 from ..control.simulation import ClosedLoopSimulator, ClosedLoopTrajectory
 from ..exceptions import SchedulingError
-from ..switching.modes import Mode, mode_sequence_from_grants
+from ..switching.modes import mode_sequence_from_grants
 from ..switching.profile import SwitchingProfile
 from .packed import packed_system_for
 from .slot_system import NO_OCCUPANT, SlotSystemConfig, advance

@@ -36,8 +36,8 @@ Phase encoding per application (all counters in samples):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Tuple
 
 from ..exceptions import SchedulingError
 from ..switching.profile import SwitchingProfile

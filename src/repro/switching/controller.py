@@ -15,7 +15,7 @@ drives it through :meth:`tick`, :meth:`grant` and :meth:`preempt`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..exceptions import SchedulingError

@@ -20,13 +20,13 @@ feeds the timed-automata verification and the slot arbiter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..control.lti import DiscreteLTISystem
-from ..control.metrics import DEFAULT_SETTLING_THRESHOLD, seconds_to_samples
+from ..control.metrics import DEFAULT_SETTLING_THRESHOLD
 from ..control.simulation import ClosedLoopSimulator, ClosedLoopTrajectory
 from ..exceptions import ProfileError, SimulationError
 from .modes import SwitchingPattern

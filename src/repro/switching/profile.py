@@ -17,7 +17,7 @@ known, the verification problem is purely a timing problem.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import ProfileError

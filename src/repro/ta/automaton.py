@@ -25,8 +25,8 @@ sample boundaries — so integer-valued clocks are exact for this model class
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import ModelError
 

@@ -14,7 +14,7 @@ read clocks, shared variables and (via broadcast state) other templates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..exceptions import ModelError
 from .automaton import Edge, Location, TimedAutomaton

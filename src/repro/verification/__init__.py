@@ -66,6 +66,18 @@ from .engine import (
     resolve_engine,
 )
 from .exhaustive import DEFAULT_MAX_STATES, ExhaustiveVerifier, verify_slot_sharing
+from .kernel import (
+    GRAPH_DIR_ENV_VAR,
+    CompiledStateGraph,
+    PackedStateTable,
+    compiled_graph_for,
+    config_fingerprint,
+    graph_cache_path,
+    load_graph,
+    maybe_load_graph,
+    maybe_save_graph,
+    save_graph,
+)
 from .result import CounterexampleStep, VerificationResult, replay_counterexample
 
 __all__ = [
@@ -93,4 +105,14 @@ __all__ = [
     "available_worker_count",
     "ENGINE_ENV_VAR",
     "replay_counterexample",
+    "CompiledStateGraph",
+    "PackedStateTable",
+    "compiled_graph_for",
+    "config_fingerprint",
+    "graph_cache_path",
+    "load_graph",
+    "save_graph",
+    "maybe_load_graph",
+    "maybe_save_graph",
+    "GRAPH_DIR_ENV_VAR",
 ]

@@ -35,11 +35,11 @@ The pieces:
     parent records, cross-shard successors — travels as packed ``uint64``
     byte buffers, not pickled int lists.
   - :class:`VectorizedEngine` — numpy frontiers over the packed integer
-    states.  Successor tables are exported per level from the packed system
-    (:meth:`~repro.scheduler.packed.PackedSlotSystem.successor_tables`) and
-    the per-level set work — the dominant cost of the BFS — runs as
-    vectorized ``unique`` plus one batched pass over an open-addressing
-    hash table (:mod:`repro.verification.kernel`).
+    states.  Each level expands through the vectorized block-table kernel
+    (:meth:`~repro.scheduler.packed.PackedSlotSystem.expand_frontier`) and
+    the per-level set work runs as vectorized ``unique`` plus one batched
+    pass over an open-addressing hash table
+    (:mod:`repro.verification.kernel`).
   - :class:`CompiledKernelEngine` — the compiled state-graph kernel
     (:mod:`repro.verification.kernel`): discovered states intern into
     dense ``int32`` ids backing id-indexed CSR transition arrays, compiled
@@ -115,6 +115,12 @@ Label = Hashable
 #: Environment variable overriding the default engine spec.
 ENGINE_ENV_VAR = "REPRO_VERIFICATION_ENGINE"
 
+#: Environment variable overriding :data:`AUTO_SHARD_THRESHOLD` (hosts
+#: with many cores and verified parallel speedups can lower the bar
+#: without code changes; see PERFORMANCE.md, "Sharded engine on real
+#: cores").
+AUTO_SHARD_ENV_VAR = "REPRO_AUTO_SHARD_THRESHOLD"
+
 #: ``auto`` picks the sharded engine when the packed system's estimated
 #: state space is at least this large (and more than one core is usable).
 #: Calibration: ``estimated_state_count`` heavily over-counts, and its
@@ -126,7 +132,30 @@ ENGINE_ENV_VAR = "REPRO_VERIFICATION_ENGINE"
 #: and per-level IPC dominates any parallel win — stays sequential, and
 #: only products far beyond the current benchmark surface (multi-million
 #: reachable states, minutes of sequential wall-clock) shard by default.
-AUTO_SHARD_THRESHOLD = 10**14
+#: This default was calibrated on a single-core container; override per
+#: host with ``REPRO_AUTO_SHARD_THRESHOLD`` once CI records real
+#: multi-worker speedups (the bench-gate workflow uploads them as the
+#: ``shard-speedup`` artifact).
+
+
+def _auto_shard_threshold() -> int:
+    raw = os.environ.get(AUTO_SHARD_ENV_VAR, "")
+    if raw:
+        try:
+            # Accept "2e6"-style values too; never crash import on a typo.
+            return int(float(raw))
+        except ValueError:
+            import warnings
+
+            warnings.warn(
+                f"ignoring non-numeric {AUTO_SHARD_ENV_VAR}={raw!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return 10**14
+
+
+AUTO_SHARD_THRESHOLD = _auto_shard_threshold()
 
 
 def available_worker_count() -> int:
@@ -432,10 +461,10 @@ def _shard_worker_packed(system, worker_count: int, conn) -> None:
     pickled Python int tuples, and the visited shard is an
     open-addressing :class:`~repro.verification.kernel.PackedStateTable`
     probed per level instead of a Python set probed per state.  Successor
-    expansion runs on the batched
-    :meth:`~repro.scheduler.packed.PackedSlotSystem.successor_tables`
-    export, so routing (hash per successor row) and bucket assembly are
-    vectorized too.
+    expansion runs on the vectorized block-table kernel
+    (:meth:`~repro.scheduler.packed.PackedSlotSystem.expand_frontier`, via
+    ``successor_tables_words``), so expansion, routing (hash per successor
+    row) and bucket assembly are all vectorized.
     """
     import numpy as np
 
@@ -473,9 +502,9 @@ def _shard_worker_packed(system, worker_count: int, conn) -> None:
         buckets = [empty_bucket] * worker_count
         if new_count:
             new_words = np.ascontiguousarray(state_words[new_rows])
-            new_ints = unpack_words(new_words)
-            indptr, succ_words, masks, miss = system.successor_tables(new_ints)
+            indptr, succ_words, masks, miss = system.successor_tables_words(new_words)
             if miss.any():
+                new_ints = unpack_words(new_words)
                 rows = np.flatnonzero(miss)
                 parent_rows = np.searchsorted(indptr, rows, side="right") - 1
                 for row, parent_row in zip(rows.tolist(), parent_rows.tolist()):
@@ -485,7 +514,7 @@ def _shard_worker_packed(system, worker_count: int, conn) -> None:
             succ_keep = succ_words[keep]
             if succ_keep.shape[0]:
                 parent_rows = np.repeat(
-                    np.arange(len(new_ints)), np.diff(indptr)
+                    np.arange(new_count), np.diff(indptr)
                 )[keep]
                 records = np.empty((succ_keep.shape[0], columns), dtype=np.uint64)
                 records[:, :words] = succ_keep
@@ -833,16 +862,16 @@ class ShardedEngine:
 class VectorizedEngine:
     """Numpy-frontier BFS over packed integer states.
 
-    Each BFS level exports its successor tables from the packed system
-    (:meth:`~repro.scheduler.packed.PackedSlotSystem.successor_tables`) as
-    ``uint64`` word columns — states wider than 64 bits simply use several
-    words — and the per-level set work runs vectorized: the successor
+    Each BFS level expands through the vectorized block-table kernel
+    (:meth:`~repro.scheduler.packed.PackedSlotSystem.expand_frontier`, via
+    ``successor_tables_words``) on ``uint64`` word rows — states wider than
+    64 bits simply use several words, and packed states never round-trip
+    through Python ints unless a predecessor store or error witness is
+    requested.  The per-level set work runs vectorized too: the successor
     multiset deduplicates through ``np.unique`` and the visited set is an
     open-addressing :class:`~repro.verification.kernel.PackedStateTable`,
     so membership-plus-insert of a level is one batched hash-table pass,
-    amortized O(1) per state.  (The previous sorted-array visited set was
-    rebuilt with ``np.insert`` every level — O(visited) per level and
-    quadratic over deep products.)  Only packed sources are supported.
+    amortized O(1) per state.  Only packed sources are supported.
     """
 
     name = "vectorized"
@@ -867,21 +896,23 @@ class VectorizedEngine:
         max_states = int(max_states)
         words = system.packed_words
 
-        def to_ints(void_values) -> List[int]:
-            return unpack_words(void_to_words(void_values, words))
-
         root = source.initial
-        frontier: List[int] = [root]
+        frontier_words = system.pack_words([root])
+        # Packed ints of the current frontier, kept only while a
+        # predecessor store is being built (the dict keys are ints).
+        frontier_ints: Optional[List[int]] = [root] if with_parents else None
         visited = PackedStateTable(words)
-        visited.intern(system.pack_words([root]))
+        visited.intern(frontier_words)
         visited_count = 1
         parents: Optional[Dict[int, Tuple[int, int]]] = {} if with_parents else None
         truncated = False
         levels = 0
         error: Optional[Tuple[int, int, int]] = None
 
-        while frontier:
-            indptr, succ_words, masks, miss = system.successor_tables(frontier)
+        while frontier_words.shape[0]:
+            indptr, succ_words, masks, miss = system.successor_tables_words(
+                frontier_words
+            )
             levels += 1
             if miss.any():
                 # Deterministic witness: the minimal (parent, mask) pair of
@@ -890,7 +921,9 @@ class VectorizedEngine:
                 parent_rows = np.searchsorted(indptr, rows, side="right") - 1
                 candidates = []
                 for row, parent_row in zip(rows.tolist(), parent_rows.tolist()):
-                    parent = frontier[parent_row]
+                    parent = unpack_words(
+                        frontier_words[parent_row : parent_row + 1]
+                    )[0]
                     succ = unpack_words(succ_words[row : row + 1])[0]
                     candidates.append((parent, int(masks[row]), succ))
                 error = min(candidates, key=lambda e: (e[0], e[1]))
@@ -913,16 +946,18 @@ class VectorizedEngine:
                 truncated = True
                 new_values = new_values[:remaining]
                 new_rows = new_rows[:remaining]
-            new_frontier = to_ints(new_values)
+            new_frontier_words = void_to_words(new_values, words)
             if parents is not None:
+                new_ints = unpack_words(new_frontier_words)
                 parent_rows = np.searchsorted(indptr, new_rows, side="right") - 1
                 new_masks = masks[new_rows].tolist()
                 for state, parent_row, mask in zip(
-                    new_frontier, parent_rows.tolist(), new_masks
+                    new_ints, parent_rows.tolist(), new_masks
                 ):
-                    parents[state] = (frontier[parent_row], int(mask))
-            visited_count += len(new_frontier)
-            frontier = new_frontier
+                    parents[state] = (frontier_ints[parent_row], int(mask))
+                frontier_ints = new_ints
+            visited_count += new_frontier_words.shape[0]
+            frontier_words = new_frontier_words
             if truncated:
                 break
 

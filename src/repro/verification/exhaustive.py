@@ -38,6 +38,7 @@ lengths and inter-arrival times, as the paper suggests.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import List, Mapping, Optional, Sequence, Tuple
 
@@ -46,6 +47,7 @@ from ..scheduler.packed import packed_system_for
 from ..scheduler.slot_system import SlotSystemConfig
 from ..switching.profile import SwitchingProfile
 from .engine import PackedStateSource, resolve_engine
+from .kernel import GRAPH_DIR_ENV_VAR, maybe_load_graph, maybe_save_graph
 from .result import CounterexampleStep, VerificationResult, replay_counterexample
 
 #: Default cap on the number of explored states before giving up.
@@ -64,6 +66,15 @@ class ExhaustiveVerifier:
         engine: exploration-engine spec or instance (see
             :func:`repro.verification.engine.resolve_engine`); ``None``
             reads ``REPRO_VERIFICATION_ENGINE`` and defaults to ``"auto"``.
+        graph_dir: optional directory of serialized compiled state graphs
+            (``.npz``, see :meth:`repro.verification.kernel
+            .CompiledStateGraph.save`).  When set — or when the
+            ``REPRO_GRAPH_DIR`` environment variable names one — the
+            verifier installs the configuration's cached graph before
+            exploring (so the kernel engine, and ``"auto"`` once complete,
+            replay it instead of re-expanding) and saves freshly completed
+            graphs back, shipping warm graphs across processes and CI
+            jobs.
     """
 
     def __init__(
@@ -72,6 +83,7 @@ class ExhaustiveVerifier:
         instance_budget: Optional[Mapping[str, int]] = None,
         max_states: int = DEFAULT_MAX_STATES,
         engine: object = None,
+        graph_dir: Optional[str] = None,
     ) -> None:
         if not profiles:
             raise VerificationError("at least one application profile is required")
@@ -79,10 +91,15 @@ class ExhaustiveVerifier:
         self.max_states = int(max_states)
         self.engine = engine
         self._instance_budget = instance_budget or {}
+        if graph_dir is None:
+            graph_dir = os.environ.get(GRAPH_DIR_ENV_VAR) or None
+        self.graph_dir = graph_dir
         # Shared per-configuration packed system: repeated verifications of
         # the same slot configuration (benchmark rounds, first-fit retries)
         # reuse its memoized successor table.
         self.packed = packed_system_for(self.config)
+        if self.graph_dir:
+            maybe_load_graph(self.packed, self.graph_dir)
 
     # ----------------------------------------------------------------- search
     def verify(
@@ -108,6 +125,10 @@ class ExhaustiveVerifier:
         )
 
         elapsed = time.perf_counter() - start_time
+        if self.graph_dir:
+            # Ship a freshly completed compiled graph (kernel / auto runs)
+            # to the cache directory for other processes and CI jobs.
+            maybe_save_graph(self.packed, self.graph_dir)
         feasible = outcome.feasible
         counterexample: Tuple[CounterexampleStep, ...] = ()
         if not feasible and outcome.parents is not None:
@@ -177,10 +198,13 @@ def verify_slot_sharing(
     with_counterexample: bool = True,
     engine: object = None,
     minimize: bool = False,
+    graph_dir: Optional[str] = None,
 ) -> VerificationResult:
     """Verify that the given applications can safely share one TT slot.
 
     Convenience wrapper around :class:`ExhaustiveVerifier`.
     """
-    verifier = ExhaustiveVerifier(profiles, instance_budget, max_states, engine=engine)
+    verifier = ExhaustiveVerifier(
+        profiles, instance_budget, max_states, engine=engine, graph_dir=graph_dir
+    )
     return verifier.verify(with_counterexample=with_counterexample, minimize=minimize)

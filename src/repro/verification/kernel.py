@@ -53,6 +53,9 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from ..exceptions import VerificationError
+from ..scheduler.packed import unpack_words
+
 __all__ = [
     "PackedStateTable",
     "CompiledStateGraph",
@@ -60,9 +63,17 @@ __all__ = [
     "CsrParentStore",
     "GenericParentStore",
     "compiled_graph_for",
+    "config_fingerprint",
+    "load_graph",
+    "maybe_load_graph",
+    "maybe_save_graph",
+    "save_graph",
     "hash_words",
     "unpack_words",
 ]
+
+#: On-disk ``.npz`` format version of :meth:`CompiledStateGraph.save`.
+GRAPH_FORMAT_VERSION = 1
 
 #: Sentinel ``label`` marking a record without a parent (the root) in the
 #: sharded engine's packed candidate buffers.  Real labels are arrival
@@ -95,20 +106,6 @@ def hash_words(word_matrix: np.ndarray) -> np.ndarray:
         x ^= x >> np.uint64(31)
         h = (h ^ x) * _FNV_PRIME
     return h
-
-
-def unpack_words(word_matrix: np.ndarray) -> List[int]:
-    """Rebuild Python ints from ``uint64`` word rows (one bulk conversion).
-
-    Inverse of :meth:`repro.scheduler.packed.PackedSlotSystem.pack_words`
-    (most significant word first).
-    """
-    if word_matrix.shape[1] == 1:
-        return word_matrix[:, 0].tolist()
-    acc = word_matrix[:, 0].astype(object)
-    for j in range(1, word_matrix.shape[1]):
-        acc = (acc << 64) | word_matrix[:, j].astype(object)
-    return acc.tolist()
 
 
 def _void_dtype(words: int) -> np.dtype:
@@ -516,13 +513,23 @@ class CompiledStateGraph:
 
     # ---------------------------------------------------------- compilation
     def _expand_next_level(self) -> None:
-        """Compile the expansion of the next unexpanded BFS level."""
+        """Compile the expansion of the next unexpanded BFS level.
+
+        The frontier never leaves word form: the id range's rows of the
+        interner's key store feed the vectorized expansion kernel
+        (:meth:`~repro.scheduler.packed.PackedSlotSystem.expand_frontier`)
+        directly; packed Python ints are materialized only for an error
+        witness.
+        """
         k = self.expanded_levels
         first, last = self.level_ptr[k], self.level_ptr[k + 1]
-        frontier = self.states_as_ints(first, last)
-        indptr, succ_words, masks, miss = self.system.successor_tables(frontier)
+        frontier_words = self.table.state_words[first:last]
+        indptr, succ_words, masks, miss = self.system.successor_tables_words(
+            frontier_words
+        )
         self.expanded_levels = k + 1
         if miss.any():
+            frontier = self.states_as_ints(first, last)
             rows = np.flatnonzero(miss)
             parent_rows = np.searchsorted(indptr, rows, side="right") - 1
             candidates = []
@@ -554,6 +561,159 @@ class CompiledStateGraph:
         self._parent_ids.extend((first + parent_rows).astype(np.int32))
         self._parent_labels.extend(masks[firsts])
         self.level_ptr.append(self.table.size)
+
+    # -------------------------------------------------------- serialization
+    def save(self, path) -> None:
+        """Persist the compiled graph as plain arrays (``.npz``).
+
+        Everything the replay needs ships as flat numpy arrays — the
+        interned state rows, the level boundaries, the CSR transition
+        arrays and the BFS parent store — plus the configuration
+        fingerprint (:func:`config_fingerprint`) that :meth:`load` checks,
+        so warm graphs can cross process (and CI job) boundaries.
+        Partially compiled graphs save too; a load resumes compilation
+        where the save stopped.
+
+        Args:
+            path: filename or open binary file object
+                (``numpy.savez_compressed`` semantics: a ``.npz`` suffix is
+                appended to plain filenames that lack it).
+        """
+        has_error = self.error is not None
+        if has_error:
+            error_words = self.system.pack_words([self.error[0], self.error[2]])
+            error_mask = np.uint64(self.error[1])
+        else:
+            error_words = np.zeros((0, self.words), dtype=np.uint64)
+            error_mask = np.uint64(0)
+        meta = np.array(
+            [
+                GRAPH_FORMAT_VERSION,
+                self.system.state_bits,
+                self.words,
+                self.state_count,
+                self.expanded_levels,
+                int(self.complete),
+                self.error_level,
+                int(has_error),
+            ],
+            dtype=np.int64,
+        )
+        np.savez_compressed(
+            path,
+            meta=meta,
+            fingerprint=np.array(config_fingerprint(self.system.config)),
+            state_words=self.table.state_words,
+            level_ptr=np.array(self.level_ptr, dtype=np.int64),
+            indptr=self.indptr,
+            succ_ids=self.successor_ids,
+            labels=self.labels,
+            parent_ids=self.parent_ids,
+            parent_labels=self.parent_labels,
+            error_words=error_words,
+            error_mask=error_mask,
+        )
+
+    @classmethod
+    def load(cls, path, system) -> "CompiledStateGraph":
+        """Rebuild a compiled graph saved by :meth:`save`.
+
+        The interner is repopulated by one batched ``intern`` of the saved
+        state rows (ids are assigned in row order, so the dense id space is
+        reproduced exactly) and the CSR/parent arrays are adopted verbatim;
+        a loaded graph replays — or, when saved mid-compilation, resumes —
+        byte-identically to the graph that was saved.
+
+        Args:
+            path: filename or open binary file object.
+            system: the :class:`~repro.scheduler.packed.PackedSlotSystem`
+                the graph belongs to; its configuration fingerprint, word
+                count and initial state must match the saved ones.
+
+        Raises:
+            VerificationError: wrong format version, fingerprint/layout
+                mismatch, or structurally corrupt arrays.
+        """
+        with np.load(path, allow_pickle=False) as data:
+            meta = data["meta"]
+            if meta.shape[0] != 8 or int(meta[0]) != GRAPH_FORMAT_VERSION:
+                raise VerificationError(
+                    f"unsupported compiled-graph format (expected version "
+                    f"{GRAPH_FORMAT_VERSION})"
+                )
+            fingerprint = str(data["fingerprint"])
+            if fingerprint != config_fingerprint(system.config):
+                raise VerificationError(
+                    "compiled graph belongs to a different slot configuration "
+                    "(fingerprint mismatch)"
+                )
+            if (
+                int(meta[1]) != system.state_bits
+                or int(meta[2]) != system.packed_words
+            ):
+                raise VerificationError(
+                    "compiled graph packed-state layout does not match the system"
+                )
+            state_words = np.ascontiguousarray(data["state_words"], dtype=np.uint64)
+            arrays = {
+                key: data[key]
+                for key in (
+                    "level_ptr",
+                    "indptr",
+                    "succ_ids",
+                    "labels",
+                    "parent_ids",
+                    "parent_labels",
+                    "error_words",
+                )
+            }
+            error_mask = int(data["error_mask"])
+
+        count = state_words.shape[0]
+        root_words = system.pack_words([system.initial])
+        if count == 0 or (state_words[0] != root_words[0]).any():
+            raise VerificationError(
+                "compiled graph root state does not match the system's initial state"
+            )
+        graph = cls(system)
+        table = PackedStateTable(
+            system.packed_words, initial_capacity=max(2 * count, 1 << 12)
+        )
+        _, new_mask = table.intern(state_words)
+        level_ptr = arrays["level_ptr"].astype(np.int64).tolist()
+        if (
+            not bool(new_mask.all())
+            or table.size != count
+            or not level_ptr
+            or level_ptr[-1] != count
+            or len(arrays["parent_ids"]) != count - 1
+            or len(arrays["succ_ids"]) != len(arrays["labels"])
+            or int(arrays["indptr"][-1]) != len(arrays["succ_ids"])
+            or (count > 1 and int(arrays["succ_ids"].max()) >= count)
+        ):
+            raise VerificationError("compiled graph arrays are corrupt")
+        graph.table = table
+        graph.level_ptr = level_ptr
+        graph.expanded_levels = int(meta[4])
+        graph.complete = bool(meta[5])
+        graph.error_level = int(meta[6])
+        if int(meta[7]):
+            error_words = np.ascontiguousarray(
+                arrays["error_words"], dtype=np.uint64
+            )
+            parent, successor = unpack_words(error_words)
+            graph.error = (parent, error_mask, successor)
+        for store_name, key, dtype in (
+            ("_indptr", "indptr", np.int64),
+            ("_succ_ids", "succ_ids", np.int32),
+            ("_labels", "labels", np.uint64),
+            ("_parent_ids", "parent_ids", np.int32),
+            ("_parent_labels", "parent_labels", np.uint64),
+        ):
+            store = _GrowableRows(dtype)
+            store.extend(arrays[key].astype(dtype))
+            setattr(graph, store_name, store)
+        return graph
 
     # ---------------------------------------------------------- exploration
     def explore(self, max_states: int, with_parents: bool) -> Tuple[
@@ -763,3 +923,122 @@ def compiled_graph_for(system) -> CompiledStateGraph:
         graph = CompiledStateGraph(system)
         system.compiled_graph = graph
     return graph
+
+
+# --------------------------------------------------------- graph shipping
+#: Environment variable naming a directory of cached compiled graphs: the
+#: exhaustive verifier loads a configuration's graph from there before
+#: exploring and saves freshly completed graphs back, so warm graphs ship
+#: across processes (dimensioning worker fleets, CI jobs restoring the
+#: directory from a cache).
+GRAPH_DIR_ENV_VAR = "REPRO_GRAPH_DIR"
+
+
+def config_fingerprint(config) -> str:
+    """Stable hex digest of everything the packed transition system derives
+    from a :class:`~repro.scheduler.slot_system.SlotSystemConfig`.
+
+    Covers, per application in index order: name, maximum wait, minimum
+    inter-arrival time, the dwell-bound arrays and the instance budget.
+    Two configs with equal fingerprints generate the identical state graph,
+    which is what :meth:`CompiledStateGraph.load` verifies (string hashes
+    are randomized per process, so this uses sha256, not ``hash()``).
+    """
+    import hashlib
+
+    parts = []
+    for profile, budget in zip(config.profiles, config.instance_budget):
+        parts.append(
+            (
+                profile.name,
+                int(profile.max_wait),
+                int(profile.min_inter_arrival),
+                tuple(int(v) for v in profile.min_dwell_array),
+                tuple(int(v) for v in profile.max_dwell_array),
+                None if budget is None else int(budget),
+            )
+        )
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+def save_graph(system, path) -> str:
+    """Persist a system's compiled graph (raises when none was compiled)."""
+    graph = system.compiled_graph
+    if graph is None:
+        raise VerificationError(
+            "no compiled state graph to save; explore with engine='kernel' first"
+        )
+    graph.save(path)
+    return str(path)
+
+
+def load_graph(system, path) -> CompiledStateGraph:
+    """Load a saved graph and install it as the system's compiled graph."""
+    graph = CompiledStateGraph.load(path, system)
+    system.compiled_graph = graph
+    return graph
+
+
+def graph_cache_path(directory: str, config) -> str:
+    """Cache filename of a configuration's graph inside a cache directory."""
+    import os
+
+    return os.path.join(directory, f"graph-{config_fingerprint(config)}.npz")
+
+
+def maybe_load_graph(system, directory: Optional[str]) -> bool:
+    """Install a cached compiled graph when one matches the configuration.
+
+    Best-effort by design (the directory is a cache, possibly restored
+    stale by CI): a missing, mismatched or corrupt file simply leaves the
+    system without a graph.  Returns True when a graph was loaded.
+    """
+    import os
+
+    if not directory or system.compiled_graph is not None:
+        return False
+    path = graph_cache_path(directory, system.config)
+    if not os.path.exists(path):
+        return False
+    try:
+        load_graph(system, path)
+    except Exception:
+        # Anything a stale or truncated cache file can throw (BadZipFile,
+        # zlib errors, our own mismatch/corruption checks, ...) means the
+        # same thing here: no usable graph, explore from scratch.
+        system.compiled_graph = None
+        return False
+    return True
+
+
+def maybe_save_graph(system, directory: Optional[str]) -> Optional[str]:
+    """Persist a finished compiled graph into a cache directory.
+
+    Only complete (or error-stopped) graphs are worth shipping; partial
+    graphs are skipped, as are configurations already present in the
+    cache.  The write is atomic (temp file + rename) so concurrent
+    dimensioning workers can share one directory.  Returns the path
+    written, or ``None`` when nothing was saved.
+    """
+    import os
+
+    graph = system.compiled_graph
+    if (
+        not directory
+        or graph is None
+        or not (graph.complete or graph.error is not None)
+    ):
+        return None
+    path = graph_cache_path(directory, system.config)
+    if os.path.exists(path):
+        return None
+    os.makedirs(directory, exist_ok=True)
+    temp_path = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(temp_path, "wb") as handle:
+            graph.save(handle)
+        os.replace(temp_path, path)
+    finally:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+    return path

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -17,9 +16,7 @@ from repro.analysis import (
 )
 from repro.casestudy import (
     PAPER_FIG2_SETTLING_SECONDS,
-    PAPER_PROPOSED_PARTITION,
     PAPER_TABLE1,
-    all_applications,
     application,
     computed_profile,
     paper_profile,

@@ -87,7 +87,6 @@ class TestCQLF:
         assert not is_lyapunov_certificate([a], np.array([[-1.0]]))
 
     def test_certificate_predicate_rejects_non_decreasing(self):
-        a = np.array([[0.99]])
         # P = identity decreases too slowly to satisfy the default margin? It
         # still decreases; use an unstable matrix instead for a clear reject.
         assert not is_lyapunov_certificate([np.array([[1.01]])], np.eye(1))

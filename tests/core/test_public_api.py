@@ -2,16 +2,13 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import ControlApplication, DimensioningProblem
 from repro.casestudy import (
     DISTURBED_STATE,
-    all_applications,
     dc_servo_plant,
     et_gain_stable,
-    paper_profiles,
     tt_gain,
 )
 from repro.control.lti import DiscreteLTISystem

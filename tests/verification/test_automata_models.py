@@ -6,7 +6,6 @@ from __future__ import annotations
 import pytest
 
 from repro.switching.profile import SwitchingProfile
-from repro.ta import ModelChecker
 from repro.verification.automata import SlotSharingModelBuilder, verify_with_model_checker
 from repro.verification.exhaustive import verify_slot_sharing
 

@@ -13,7 +13,6 @@ import pytest
 
 from repro.scheduler.packed import PackedSlotSystem, packed_system_for
 from repro.scheduler.slot_system import SlotSystemConfig
-from repro.switching.profile import SwitchingProfile
 from repro.verification import (
     CompiledKernelEngine,
     PackedStateSource,
