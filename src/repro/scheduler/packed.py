@@ -506,6 +506,16 @@ class PackedSlotSystem:
         configuration supports it and falls back to the per-state memoized
         expansion otherwise.
         """
+        return self.successor_tables_words_origin(word_matrix)[:4]
+
+    def successor_tables_words_origin(self, word_matrix):
+        """:meth:`successor_tables_words` plus the per-transition origin row.
+
+        ``origin[t]`` is the frontier row transition ``t`` expands — the
+        expansion kernel produces it for free, and engines that record
+        parent links use it directly instead of re-deriving parent rows
+        from ``indptr`` with a binary search per level.
+        """
         import numpy as np
 
         if self.can_expand_frontier:
@@ -517,8 +527,14 @@ class PackedSlotSystem:
                 self.miss_field
             )
             miss = (events & np.uint64(self.miss_field)) != 0
-            return indptr, succ_words, masks, miss
-        return self.successor_tables(unpack_words(word_matrix))
+            return indptr, succ_words, masks, miss, origin
+        indptr, succ_words, masks, miss = self.successor_tables(
+            unpack_words(word_matrix)
+        )
+        origin = np.repeat(
+            np.arange(indptr.shape[0] - 1, dtype=np.int64), np.diff(indptr)
+        )
+        return indptr, succ_words, masks, miss, origin
 
     def successor_tables(self, states: Sequence[int]):
         """Export the successor lists of a state batch as numpy tables.
@@ -648,7 +664,25 @@ class PackedSlotSystem:
         """
         self._successor_memo.clear()
         self._table_memo.clear()
+        graph = self.compiled_graph
         self.compiled_graph = None
+        if graph is not None:
+            close = getattr(graph, "close", None)
+            if close is not None:
+                close()
+
+    def clear_expansion_tables(self) -> None:
+        """Drop the compiled block tables of the vectorized expansion kernel.
+
+        The :class:`_FrontierExpander` and the per-application block memos
+        are pure configuration data and normally survive
+        :meth:`clear_memo`; tests (and long-lived processes switching
+        configurations) call this through :func:`clear_packed_caches` so
+        no compiled table can leak state across configurations.
+        """
+        self._expander = None
+        for memo in self._block_memo:
+            memo.clear()
 
     def _block_info(self, index: int, block: int) -> tuple:
         """Precomputed one-step data for one application block value.
@@ -1032,12 +1066,12 @@ class _FrontierExpander:
         np = self._np
         dense = self._dense_rows[index]
         if dense is not None:
-            positions = blocks.astype(np.int64)
-            rows = dense[positions]
-            if (rows < 0).any():
-                for value in np.unique(positions[rows < 0]).tolist():
+            rows = dense[blocks]
+            missing = rows < 0
+            if missing.any():
+                for value in np.unique(blocks[missing]).tolist():
                     dense[value] = self._add_block(index, value)
-                rows = dense[positions]
+                rows = dense[blocks]
             return rows
         unique, inverse = np.unique(blocks, return_inverse=True)
         mapping = self._row_of[index]
@@ -1096,35 +1130,34 @@ class _FrontierExpander:
             )
 
         # ---- per-state gathers from the block tables ----------------------
+        # Only the fields every state needs are gathered per state (the
+        # advanced block, eligibility, recovery, grant priority, and the
+        # miss bits of buffer members); the role XOR deltas and the
+        # occupant-exit fields are gathered lazily below, on exactly the
+        # rows that use them — the bulk of the old per-level gather cost
+        # served transitions that never touched the gathered values.
         base = np.zeros((count, words), dtype=np.uint64)
         eligible = np.zeros(count, dtype=np.uint64)
         recovered = np.zeros(count, dtype=np.uint64)
         buffer_mask = self._extract(matrix, system._buf_shift, n)
         miss_state = np.zeros(count, dtype=np.uint64)
-        arr_of: List = [None] * n
-        arrg_of: List = [None] * n
-        bufg_of: List = [None] * n
-        post_of: List = [None] * n
+        rows_of: List = [None] * n
         prio_of: List = [None] * n
-        release_of: List = [None] * n
-        preempt_of: List = [None] * n
+        tables: List[dict] = [None] * n
         zero = np.uint64(0)
         for i in range(n):
             blocks = self._extract(matrix, system._app_shift[i], self._block_bits[i])
             rows = self._block_rows(i, blocks)
             table = self._table(i)
+            rows_of[i] = rows
+            tables[i] = table
             base ^= table["adv"][rows]
             eligible |= table["elig"][rows]
             recovered |= table["recov"][rows]
-            in_buffer = ((buffer_mask >> np.uint64(i)) & np.uint64(1)).astype(bool)
-            miss_state |= np.where(in_buffer, table["miss"][rows], zero)
-            arr_of[i] = table["arr"][rows]
-            arrg_of[i] = table["arrg"][rows]
-            bufg_of[i] = table["bufg"][rows]
-            post_of[i] = table["post"][rows]
+            members = np.flatnonzero((buffer_mask >> np.uint64(i)) & np.uint64(1))
+            if members.size:
+                miss_state[members] |= table["miss"][rows[members]]
             prio_of[i] = table["prio"][rows]
-            release_of[i] = table["release"][rows]
-            preempt_of[i] = table["preempt"][rows]
 
         occupant = (
             self._extract(matrix, system._occ_shift, self._occ_bits).astype(np.int64)
@@ -1134,11 +1167,12 @@ class _FrontierExpander:
         occ_preempt = np.zeros(count, dtype=bool)
         occ_post = np.zeros((count, words), dtype=np.uint64)
         for i in range(n):
-            held = occupant == i
-            if held.any():
-                occ_release[held] = release_of[i][held]
-                occ_preempt[held] = preempt_of[i][held]
-                occ_post[held] = post_of[i][held]
+            held = np.flatnonzero(occupant == i)
+            if held.size:
+                rows = rows_of[i][held]
+                occ_release[held] = tables[i]["release"][rows]
+                occ_preempt[held] = tables[i]["preempt"][rows]
+                occ_post[held] = tables[i]["post"][rows]
 
         # ---- one transition row per (state, arrival subset) ---------------
         counts = np.int64(1) << np.bitwise_count(eligible).astype(np.int64)
@@ -1159,31 +1193,53 @@ class _FrontierExpander:
         grants = slot_free & merged_nonempty
 
         # Granted application: argmin of the composite (slack, -wait, index)
-        # key over the members of buffer | arrivals.
+        # key over the members of buffer | arrivals.  The buffer part is a
+        # per-*state* minimum (the member set is fixed per state), so it is
+        # computed once over the frontier and only the arrivals — a handful
+        # of sparse rows per application — update it per transition.
         infinity = np.iinfo(np.int64).max
-        keys = np.full((total, n), infinity, dtype=np.int64)
+        buffer_key = np.full(count, infinity, dtype=np.int64)
+        buffer_app = np.zeros(count, dtype=np.int64)
         for i in range(n):
-            member = ((merged >> np.uint64(i)) & np.uint64(1)).astype(bool)
-            keys[:, i] = np.where(member, prio_of[i][origin], infinity)
-        granted = np.argmin(keys, axis=1).astype(np.int64)
+            members = np.flatnonzero((buffer_mask >> np.uint64(i)) & np.uint64(1))
+            if members.size:
+                candidate = prio_of[i][members]
+                better = candidate < buffer_key[members]
+                rows = members[better]
+                buffer_key[rows] = candidate[better]
+                buffer_app[rows] = i
+        best_key = buffer_key[origin]
+        granted = buffer_app[origin]
+        arrival_rows: List = [None] * n
+        for i in range(n):
+            rows = np.flatnonzero((amask >> np.uint64(i)) & np.uint64(1))
+            arrival_rows[i] = rows
+            if rows.size:
+                candidate = prio_of[i][origin[rows]]
+                better = candidate < best_key[rows]
+                rows = rows[better]
+                best_key[rows] = candidate[better]
+                granted[rows] = i
 
         succ = base[origin]
         if exits.any():
             rows = np.flatnonzero(exits)
             succ[rows] ^= occ_post[origin[rows]]
         for i in range(n):
-            arriving = ((amask >> np.uint64(i)) & np.uint64(1)).astype(bool)
-            rows = np.flatnonzero(arriving)
+            table = tables[i]
+            rows_i = rows_of[i]
+            rows = arrival_rows[i]
             if rows.size:
-                succ[rows] ^= arr_of[i][origin[rows]]
-            wins = grants & (granted == i)
-            from_arrival = np.flatnonzero(wins & arriving)
+                succ[rows] ^= table["arr"][rows_i[origin[rows]]]
+            wins = np.flatnonzero(grants & (granted == i))
+            win_arriving = ((amask[wins] >> np.uint64(i)) & np.uint64(1)) != 0
+            from_arrival = wins[win_arriving]
             if from_arrival.size:
-                gathered = origin[from_arrival]
-                succ[from_arrival] ^= arr_of[i][gathered] ^ arrg_of[i][gathered]
-            from_buffer = np.flatnonzero(wins & ~arriving)
+                gathered = rows_i[origin[from_arrival]]
+                succ[from_arrival] ^= table["arr"][gathered] ^ table["arrg"][gathered]
+            from_buffer = wins[~win_arriving]
             if from_buffer.size:
-                succ[from_buffer] ^= bufg_of[i][origin[from_buffer]]
+                succ[from_buffer] ^= table["bufg"][rows_i[origin[from_buffer]]]
 
         next_occupant = np.where(
             grants, granted, np.where(exits, np.int64(-1), occupant[origin])
@@ -1257,12 +1313,17 @@ def packed_system_for(config: SlotSystemConfig) -> PackedSlotSystem:
 
 
 def clear_packed_caches() -> None:
-    """Release every shared packed system and its successor memo.
+    """Release every shared packed system and its derived caches.
 
     The shared caches trade memory for cross-run speed (see
     :meth:`PackedSlotSystem.clear_memo`); long-lived processes that are done
-    verifying can call this to return to a cold baseline.
+    verifying can call this to return to a cold baseline.  Everything goes:
+    successor memos, compiled state graphs (closing any open memmap spill
+    handles with them) *and* the compiled expansion block tables, so a
+    subsequent run — or the next test in a suite — starts genuinely cold
+    with no leaked state or file descriptors.
     """
     for system in _SYSTEM_CACHE.values():
         system.clear_memo()
+        system.clear_expansion_tables()
     _SYSTEM_CACHE.clear()

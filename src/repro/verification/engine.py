@@ -24,22 +24,26 @@ The pieces:
   needed to rebuild shortest counterexample traces.
 * Four engines:
 
-  - :class:`SequentialPackedEngine` — the frontier-batched BFS loop of the
-    original verifier, extracted.  Deterministic, lowest constant factor,
-    the reference implementation.
+  - :class:`SequentialPackedEngine` — the original verifier's BFS,
+    extracted; its packed path now expands levels through the vectorized
+    block-table kernel and dedupes through the fused
+    :meth:`~repro.verification.kernel.PackedStateTable.intern_dedup` pass
+    while keeping the per-state loop's exact semantics (discovery-order
+    stops, mid-level cap).  Deterministic, the reference implementation.
   - :class:`ShardedEngine` — level-synchronous multi-process BFS.  The
     state space is partitioned by state hash across worker processes; each
     worker owns the visited shard for its partition, expands the states it
     owns and exchanges cross-shard successors with the coordinator once per
-    BFS level.  For packed sources every exchange — frontier candidates,
-    parent records, cross-shard successors — travels as packed ``uint64``
-    byte buffers, not pickled int lists.
+    BFS level.  For packed sources the exchanged rows — frontier
+    candidates, parent records, cross-shard successors — live in
+    shared-memory frontier rings (:mod:`repro.verification.shm`); the
+    pipes carry only level barriers and buffer descriptors (byte payloads
+    over the pipes remain as the fallback transport).
   - :class:`VectorizedEngine` — numpy frontiers over the packed integer
     states.  Each level expands through the vectorized block-table kernel
     (:meth:`~repro.scheduler.packed.PackedSlotSystem.expand_frontier`) and
-    the per-level set work runs as vectorized ``unique`` plus one batched
-    pass over an open-addressing hash table
-    (:mod:`repro.verification.kernel`).
+    the per-level set work is one fused dedupe–intern pass over an
+    open-addressing hash table (:mod:`repro.verification.kernel`).
   - :class:`CompiledKernelEngine` — the compiled state-graph kernel
     (:mod:`repro.verification.kernel`): discovered states intern into
     dense ``int32`` ids backing id-indexed CSR transition arrays, compiled
@@ -126,15 +130,18 @@ AUTO_SHARD_ENV_VAR = "REPRO_AUTO_SHARD_THRESHOLD"
 #: Calibration: ``estimated_state_count`` heavily over-counts, and its
 #: inflation grows with the number of applications (measured on the case
 #: study: ~3.5e3x on 3-application slots, ~1.2e7x on 4-application slot S1,
-#: whose estimate is ~1.7e12 for 145,373 reachable states).  The bar is set
-#: two orders of magnitude above the S1 estimate so that everything up to
-#: S1 scale — where the sequential engine finishes in well under a second
-#: and per-level IPC dominates any parallel win — stays sequential, and
-#: only products far beyond the current benchmark surface (multi-million
-#: reachable states, minutes of sequential wall-clock) shard by default.
-#: This default was calibrated on a single-core container; override per
-#: host with ``REPRO_AUTO_SHARD_THRESHOLD`` once CI records real
-#: multi-worker speedups (the bench-gate workflow uploads them as the
+#: whose estimate is ~1.7e12 for 145,373 reachable states).  The bar sits
+#: one order of magnitude above the S1 estimate: everything up to S1 scale
+#: — cold sequential now finishes it in ~0.19 s on the fused dedupe–intern
+#: path, so the sharded engine's per-level barrier cannot pay for itself —
+#: stays sequential, while clearly larger products (tens of seconds of
+#: sequential wall-clock) shard by default now that the shared-memory
+#: frontier exchange (:mod:`repro.verification.shm`) has removed the
+#: serialization cost that used to eat the parallel win.  (PR 4's bar was
+#: another order higher; the 2026-07-28 shard-speedup record in
+#: PERFORMANCE.md is what justified lowering it.)  Override per host with
+#: ``REPRO_AUTO_SHARD_THRESHOLD`` as CI records real multi-worker
+#: speedups (the bench-gate workflow uploads them as the
 #: ``shard-speedup`` artifact).
 
 
@@ -152,7 +159,7 @@ def _auto_shard_threshold() -> int:
                 RuntimeWarning,
                 stacklevel=2,
             )
-    return 10**14
+    return 10**13
 
 
 AUTO_SHARD_THRESHOLD = _auto_shard_threshold()
@@ -296,9 +303,17 @@ class ExplorationEngine(Protocol):
 class SequentialPackedEngine:
     """The original frontier-batched BFS, extracted from the verifier.
 
-    Processes the frontier level by level in plain lists; on packed sources
-    the inner loop runs directly on the memoized successor tuples of the
-    packed system (no adapter allocation on the hot path).
+    On packed sources whose configuration supports the vectorized
+    block-table kernel, each BFS level expands through
+    :meth:`~repro.scheduler.packed.PackedSlotSystem.expand_frontier` and
+    dedupes through the fused
+    :meth:`~repro.verification.kernel.PackedStateTable.intern_dedup` pass —
+    but the *semantics* stay those of the original per-state loop: states
+    are accepted in discovery (row) order, the search stops at the first
+    error transition in that order, and the state cap fires mid-level at
+    exactly the state that reaches it.  Configurations the kernel cannot
+    expand (see ``can_expand_frontier``) and generic sources run the
+    original Python loop.
     """
 
     name = "sequential"
@@ -310,10 +325,107 @@ class SequentialPackedEngine:
         with_parents: bool = True,
     ) -> ExplorationOutcome:
         if getattr(source, "kind", "generic") == "packed":
-            return self._explore_packed(source, int(max_states), with_parents)
+            if getattr(source.system, "can_expand_frontier", False):
+                return self._explore_packed_batched(
+                    source, int(max_states), with_parents
+                )
+            return self._explore_packed_loop(source, int(max_states), with_parents)
         return self._explore_generic(source, int(max_states), with_parents)
 
-    def _explore_packed(
+    def _explore_packed_batched(
+        self, source: PackedStateSource, max_states: int, with_parents: bool
+    ) -> ExplorationOutcome:
+        import numpy as np
+
+        from ..scheduler.packed import unpack_words
+        from .kernel import PackedStateTable
+
+        system = source.system
+        root = source.initial
+        words = system.packed_words
+        visited = PackedStateTable(words)
+        frontier_words = system.pack_words([root])
+        visited.intern(frontier_words)
+        # Packed ints of the current frontier, materialized only while a
+        # predecessor store is being built.
+        frontier_ints: Optional[List[int]] = [root] if with_parents else None
+        parents: Optional[Dict[int, Tuple[int, int]]] = {} if with_parents else None
+        visited_count = 1
+        truncated = False
+        levels = 0
+        error: Optional[Tuple[int, int, int]] = None
+
+        while frontier_words.shape[0]:
+            indptr, succ_words, masks, miss, origin = (
+                system.successor_tables_words_origin(frontier_words)
+            )
+            levels += 1
+            miss_rows = np.flatnonzero(miss)
+            stop_row = int(miss_rows[0]) if miss_rows.size else -1
+            _, first_mask, _ = visited.intern_dedup(succ_words)
+            new_rows = np.flatnonzero(first_mask)
+            # Replay the per-state loop's stop rule in row (discovery)
+            # order: the first miss transition and the state that reaches
+            # the cap compete; whichever row comes first wins.  Rows below
+            # the first miss row are never miss transitions, so the
+            # accepted prefix is unaffected by the extra interning.
+            remaining = max(max_states - visited_count, 1)
+            cap_row = int(new_rows[remaining - 1]) if new_rows.size >= remaining else -1
+            # On the same row the miss check precedes the cap bookkeeping
+            # in the per-state loop, so ties go to the error.
+            if stop_row >= 0 and (cap_row < 0 or stop_row <= cap_row):
+                accepted = new_rows[new_rows < stop_row]
+                final = True
+            elif cap_row >= 0:
+                truncated = True
+                accepted = new_rows[:remaining]
+                final = True
+            else:
+                accepted = new_rows
+                final = False
+            visited_count += int(accepted.size)
+
+            accepted_ints: Optional[List[int]] = None
+            if parents is not None and accepted.size:
+                accepted_ints = unpack_words(succ_words[accepted])
+                parent_rows = origin[accepted]
+                accepted_masks = masks[accepted].tolist()
+                for succ, parent_row, mask in zip(
+                    accepted_ints, parent_rows.tolist(), accepted_masks
+                ):
+                    parents[succ] = (frontier_ints[parent_row], int(mask))
+
+            if final:
+                if not truncated:
+                    parent_row = int(origin[stop_row])
+                    if frontier_ints is not None:
+                        parent = frontier_ints[parent_row]
+                    else:
+                        parent = unpack_words(
+                            frontier_words[parent_row : parent_row + 1]
+                        )[0]
+                    successor = unpack_words(
+                        succ_words[stop_row : stop_row + 1]
+                    )[0]
+                    error = (parent, int(masks[stop_row]), successor)
+                break
+            frontier_words = succ_words[accepted]
+            if parents is not None:
+                frontier_ints = accepted_ints if accepted_ints is not None else []
+
+        return ExplorationOutcome(
+            engine=self.name,
+            visited_count=visited_count,
+            truncated=truncated,
+            error_found=error is not None,
+            error_parent=error[0] if error else None,
+            error_label=error[1] if error else None,
+            error_state=error[2] if error else None,
+            levels=levels,
+            parents=parents,
+        )
+
+    def _explore_packed_loop(
         self, source: PackedStateSource, max_states: int, with_parents: bool
     ) -> ExplorationOutcome:
         system = source.system
@@ -422,14 +534,18 @@ class SequentialPackedEngine:
 
 
 # -------------------------------------------------------------------- sharded
-def _shard_worker(source, worker_id: int, worker_count: int, conn) -> None:
+def _shard_worker(
+    source, worker_id: int, worker_count: int, conn, use_shm: bool = False
+) -> None:
     """Worker loop of the sharded BFS (runs in a forked child process).
 
     Owns the visited shard ``{s : shard_hash(s) % worker_count ==
     worker_id}``.  Per round it receives the candidate states routed to its
     shard, filters them against the local visited set, expands the
     genuinely new ones and returns the successor candidates bucketed by
-    destination shard.
+    destination shard.  Packed sources exchange rows through
+    shared-memory frontier rings when ``use_shm`` (see
+    :mod:`repro.verification.shm`); pipe payloads otherwise.
 
     Error semantics mirror the sequential engine's: packed sources flag the
     error on the *transition* during expansion (the miss successor is never
@@ -439,7 +555,10 @@ def _shard_worker(source, worker_id: int, worker_count: int, conn) -> None:
     """
     try:
         if getattr(source, "kind", "generic") == "packed":
-            _shard_worker_packed(source.system, worker_count, conn)
+            if use_shm:
+                _shard_worker_packed_shm(source.system, worker_count, conn)
+            else:
+                _shard_worker_packed(source.system, worker_count, conn)
         else:
             _shard_worker_generic(source, worker_count, conn)
     except EOFError:  # pragma: no cover - coordinator died
@@ -452,28 +571,78 @@ def _shard_worker(source, worker_id: int, worker_count: int, conn) -> None:
         conn.close()
 
 
-def _shard_worker_packed(system, worker_count: int, conn) -> None:
-    """Packed-source worker: zero-copy ``uint64`` candidate buffers.
+def _expand_shard_round(system, visited, candidates, with_parents, worker_count):
+    """One shard round: fused dedupe–intern, expand, route by state hash.
 
-    Candidates, parent records and cross-shard successor exchanges all
-    travel as packed byte buffers of ``(state words | parent words |
-    label)`` rows (``ndarray.tobytes`` / ``np.frombuffer``) instead of
-    pickled Python int tuples, and the visited shard is an
-    open-addressing :class:`~repro.verification.kernel.PackedStateTable`
-    probed per level instead of a Python set probed per state.  Successor
-    expansion runs on the vectorized block-table kernel
-    (:meth:`~repro.scheduler.packed.PackedSlotSystem.expand_frontier`, via
-    ``successor_tables_words``), so expansion, routing (hash per successor
-    row) and bucket assembly are all vectorized.
+    Shared by both transports.  ``candidates`` is an ``(m, 2 * words + 1)``
+    row matrix of ``(state words | parent words | label)``; the visited
+    shard dedupes the round's candidates *and* drops the already-visited
+    ones in one :meth:`~repro.verification.kernel.PackedStateTable
+    .intern_dedup` pass (the first occurrence carries the parent record).
+
+    Returns ``(new_count, accepted, errors, buckets)`` — the newly
+    accepted row matrix (``None`` unless parents are wanted), the error
+    witnesses and one successor-record matrix per destination shard.
     """
     import numpy as np
 
-    from .kernel import PackedStateTable, as_void, hash_words, unpack_words
+    from .kernel import hash_words, unpack_words
 
     words = system.packed_words
     columns = 2 * words + 1
-    workers64 = np.uint64(worker_count)
-    visited = PackedStateTable(words)
+    state_words = candidates[:, :words]
+    _, _, new_rows = visited.intern_dedup(state_words)
+    new_count = int(new_rows.size)
+
+    accepted = None
+    if with_parents and new_count:
+        accepted = np.ascontiguousarray(candidates[new_rows])
+
+    errors: List[Tuple[int, int, int]] = []
+    empty = np.zeros((0, columns), dtype=np.uint64)
+    buckets = [empty] * worker_count
+    if new_count:
+        new_words = np.ascontiguousarray(state_words[new_rows])
+        indptr, succ_words, masks, miss, origin = (
+            system.successor_tables_words_origin(new_words)
+        )
+        if miss.any():
+            new_ints = unpack_words(new_words)
+            rows = np.flatnonzero(miss)
+            parent_rows = origin[rows]
+            for row, parent_row in zip(rows.tolist(), parent_rows.tolist()):
+                successor = unpack_words(succ_words[row : row + 1])[0]
+                errors.append((new_ints[parent_row], int(masks[row]), successor))
+        keep = ~miss if miss.any() else slice(None)
+        succ_keep = succ_words[keep]
+        if succ_keep.shape[0]:
+            parent_rows = origin[keep]
+            records = np.empty((succ_keep.shape[0], columns), dtype=np.uint64)
+            records[:, :words] = succ_keep
+            records[:, words : 2 * words] = new_words[parent_rows]
+            records[:, 2 * words] = masks[keep]
+            destinations = hash_words(succ_keep) % np.uint64(worker_count)
+            buckets = [
+                records[destinations == np.uint64(destination)]
+                for destination in range(worker_count)
+            ]
+    return new_count, accepted, errors, buckets
+
+
+def _shard_worker_packed(system, worker_count: int, conn) -> None:
+    """Packed-source worker, pipe transport (fallback).
+
+    Candidates, parent records and cross-shard successor exchanges travel
+    as packed byte buffers of ``(state words | parent words | label)``
+    rows (``ndarray.tobytes`` / ``np.frombuffer``) through the coordinator
+    pipes — the pre-shared-memory transport, kept for hosts without
+    usable POSIX shared memory and for ``REPRO_SHARDED_SHM=0``.
+    """
+    import numpy as np
+
+    words = system.packed_words
+    columns = 2 * words + 1
+    visited = _shard_visited_table(words)
     empty_bucket = (0, b"")
     while True:
         message = conn.recv()
@@ -484,53 +653,76 @@ def _shard_worker_packed(system, worker_count: int, conn) -> None:
             candidates = np.frombuffer(payload, dtype=np.uint64).reshape(count, columns)
         else:
             candidates = np.zeros((0, columns), dtype=np.uint64)
-        state_words = candidates[:, :words]
-        # Dedupe the round's candidates (the first occurrence carries the
-        # parent record) and drop the already-visited ones in one batched
-        # hash-table pass.
-        _, first_rows = np.unique(as_void(state_words), return_index=True)
-        _, new_mask = visited.intern(state_words[first_rows])
-        new_rows = first_rows[new_mask]
-        new_count = int(new_rows.size)
-
+        new_count, accepted, errors, buckets = _expand_shard_round(
+            system, visited, candidates, with_parents, worker_count
+        )
         accepted_payload = None
-        if with_parents and new_count:
-            accepted = np.ascontiguousarray(candidates[new_rows])
-            accepted_payload = (new_count, accepted.tobytes())
+        if accepted is not None:
+            accepted_payload = (accepted.shape[0], accepted.tobytes())
+        bucket_payloads = [
+            (bucket.shape[0], np.ascontiguousarray(bucket).tobytes())
+            if bucket.shape[0]
+            else empty_bucket
+            for bucket in buckets
+        ]
+        conn.send(("done", new_count, accepted_payload, errors, bucket_payloads))
 
-        errors: List[Tuple[int, int, int]] = []
-        buckets = [empty_bucket] * worker_count
-        if new_count:
-            new_words = np.ascontiguousarray(state_words[new_rows])
-            indptr, succ_words, masks, miss = system.successor_tables_words(new_words)
-            if miss.any():
-                new_ints = unpack_words(new_words)
-                rows = np.flatnonzero(miss)
-                parent_rows = np.searchsorted(indptr, rows, side="right") - 1
-                for row, parent_row in zip(rows.tolist(), parent_rows.tolist()):
-                    successor = unpack_words(succ_words[row : row + 1])[0]
-                    errors.append((new_ints[parent_row], int(masks[row]), successor))
-            keep = ~miss if miss.any() else slice(None)
-            succ_keep = succ_words[keep]
-            if succ_keep.shape[0]:
-                parent_rows = np.repeat(
-                    np.arange(new_count), np.diff(indptr)
-                )[keep]
-                records = np.empty((succ_keep.shape[0], columns), dtype=np.uint64)
-                records[:, :words] = succ_keep
-                records[:, words : 2 * words] = new_words[parent_rows]
-                records[:, 2 * words] = masks[keep]
-                destinations = hash_words(succ_keep) % workers64
-                buckets = []
-                for destination in range(worker_count):
-                    rows = records[destinations == np.uint64(destination)]
-                    if rows.shape[0]:
-                        buckets.append(
-                            (rows.shape[0], np.ascontiguousarray(rows).tobytes())
-                        )
-                    else:
-                        buckets.append(empty_bucket)
-        conn.send(("done", new_count, accepted_payload, errors, buckets))
+
+def _shard_worker_packed_shm(system, worker_count: int, conn) -> None:
+    """Packed-source worker, shared-memory transport.
+
+    The candidate rows arrive as ``(segment, offset, count)`` descriptors
+    into the coordinator-owned inbox ring; the reply rows (accepted parent
+    records first, then one bucket per destination shard) are written back
+    to back into this worker's outbox ring, and the pipe reply carries
+    only the counts and the segment name — no payload bytes ever cross a
+    pipe.
+    """
+    import numpy as np
+
+    from .shm import FrontierReader, FrontierRing
+
+    words = system.packed_words
+    columns = 2 * words + 1
+    visited = _shard_visited_table(words)
+    inbox = FrontierReader()
+    outbox = FrontierRing()
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, count, name, offset_rows, with_parents = message
+            if count:
+                candidates = inbox.view(name, count, columns, offset_rows)
+            else:
+                candidates = np.zeros((0, columns), dtype=np.uint64)
+            new_count, accepted, errors, buckets = _expand_shard_round(
+                system, visited, candidates, with_parents, worker_count
+            )
+            del candidates
+            accepted_rows = 0 if accepted is None else accepted.shape[0]
+            matrices = ([accepted] if accepted_rows else []) + buckets
+            out_name, _ = outbox.write(matrices, columns)
+            conn.send(
+                (
+                    "done",
+                    new_count,
+                    accepted_rows,
+                    errors,
+                    [bucket.shape[0] for bucket in buckets],
+                    out_name,
+                )
+            )
+    finally:
+        inbox.close()
+        outbox.close()
+
+
+def _shard_visited_table(words: int):
+    from .kernel import PackedStateTable
+
+    return PackedStateTable(words)
 
 
 def _shard_worker_generic(source, worker_count: int, conn) -> None:
@@ -581,7 +773,12 @@ class ShardedEngine:
     keeps that shard of the visited set and expands exactly the states it
     owns, so both membership testing and successor expansion parallelise.
     Once per BFS level the workers exchange the successors that crossed a
-    shard boundary through the coordinator ("frontier exchange").
+    shard boundary through the coordinator ("frontier exchange").  For
+    packed sources the exchanged rows live in shared-memory frontier
+    rings (:mod:`repro.verification.shm`) — the pipes carry only level
+    barriers and buffer descriptors, so the exchange pays no
+    serialization; set ``REPRO_SHARDED_SHM=0`` (or lack POSIX shared
+    memory) to use the byte-payload pipe transport instead.
 
     Requires the ``fork`` start method (the transition source — including
     closures inside TA networks — is inherited, never pickled); on platforms
@@ -619,6 +816,12 @@ class ShardedEngine:
             outcome.engine = self.name
             return outcome
 
+        from .shm import shared_frontiers_enabled
+
+        use_shm = (
+            getattr(source, "kind", "generic") == "packed"
+            and shared_frontiers_enabled()
+        )
         context = multiprocessing.get_context("fork")
         connections = []
         processes = []
@@ -627,7 +830,7 @@ class ShardedEngine:
                 parent_conn, child_conn = context.Pipe()
                 process = context.Process(
                     target=_shard_worker,
-                    args=(source, worker_id, worker_count, child_conn),
+                    args=(source, worker_id, worker_count, child_conn, use_shm),
                     daemon=True,
                 )
                 process.start()
@@ -635,7 +838,12 @@ class ShardedEngine:
                 connections.append(parent_conn)
                 processes.append(process)
             return self._coordinate(
-                source, connections, worker_count, int(max_states), with_parents
+                source,
+                connections,
+                worker_count,
+                int(max_states),
+                with_parents,
+                use_shm,
             )
         finally:
             for conn in connections:
@@ -650,14 +858,160 @@ class ShardedEngine:
                     process.terminate()
 
     def _coordinate(
-        self, source, connections, worker_count, max_states, with_parents
+        self, source, connections, worker_count, max_states, with_parents, use_shm
     ) -> ExplorationOutcome:
         if getattr(source, "kind", "generic") == "packed":
+            if use_shm:
+                return self._coordinate_packed_shm(
+                    source.system, connections, worker_count, max_states, with_parents
+                )
             return self._coordinate_packed(
                 source.system, connections, worker_count, max_states, with_parents
             )
         return self._coordinate_generic(
             source, connections, worker_count, max_states, with_parents
+        )
+
+    @staticmethod
+    def _decode_parent_buffers(accepted_buffers, words):
+        """Predecessor dict from the accumulated accepted-row matrices."""
+        import numpy as np
+
+        from .kernel import NO_PARENT_LABEL, unpack_words
+
+        parents: Dict[int, Tuple[int, int]] = {}
+        for matrix in accepted_buffers:
+            states = unpack_words(np.ascontiguousarray(matrix[:, :words]))
+            parent_ints = unpack_words(
+                np.ascontiguousarray(matrix[:, words : 2 * words])
+            )
+            labels = matrix[:, 2 * words]
+            is_root = (labels == NO_PARENT_LABEL).tolist()
+            for state, parent, label, root in zip(
+                states, parent_ints, labels.tolist(), is_root
+            ):
+                if not root:
+                    parents[state] = (parent, label)
+        return parents
+
+    def _coordinate_packed_shm(
+        self, system, connections, worker_count, max_states, with_parents
+    ) -> ExplorationOutcome:
+        """Packed coordinator over shared-memory frontier rings.
+
+        The coordinator owns one inbox ring per worker; a BFS level is
+        written into the rings exactly once, and the budget-bounded
+        sub-round dispatch (see :meth:`_coordinate_generic` for the cap
+        rule) ships plain ``(segment, offset, count)`` descriptors — the
+        pipes never carry row payloads.  Worker replies are read as views
+        into the workers' outbox rings and concatenated straight into the
+        next level's inboxes; only parent records (kept until the end of
+        the search) and buckets that must survive an outbox reuse inside
+        one level are copied.
+        """
+        import numpy as np
+
+        from .kernel import NO_PARENT_LABEL, hash_words
+        from .shm import FrontierReader, FrontierRing, close_all
+
+        words = system.packed_words
+        columns = 2 * words + 1
+
+        root_words = system.pack_words([system.initial])
+        root_record = np.zeros((1, columns), dtype=np.uint64)
+        root_record[0, :words] = root_words[0]
+        root_record[0, 2 * words] = NO_PARENT_LABEL
+
+        inboxes = [FrontierRing() for _ in range(worker_count)]
+        readers = [FrontierReader() for _ in range(worker_count)]
+        accepted_buffers: Optional[List[np.ndarray]] = [] if with_parents else None
+        visited_count = 0
+        levels = 0
+        truncated = False
+        error: Optional[Tuple[int, int, int]] = None
+        pending_rows = [0] * worker_count
+        root_shard = int(hash_words(root_words)[0] % np.uint64(worker_count))
+        pending_rows[root_shard] = inboxes[root_shard].write([root_record], columns)[1]
+
+        try:
+            while any(pending_rows) and error is None and not truncated:
+                next_views: List[List[np.ndarray]] = [[] for _ in range(worker_count)]
+                cursors = [0] * worker_count
+                while True:
+                    left = sum(
+                        pending_rows[w] - cursors[w] for w in range(worker_count)
+                    )
+                    if left == 0:
+                        break
+                    budget = max_states - visited_count
+                    if budget <= 0:
+                        truncated = True
+                        break
+                    for w, conn in enumerate(connections):
+                        take = min(pending_rows[w] - cursors[w], budget)
+                        conn.send(
+                            ("expand", take, inboxes[w].name, cursors[w], with_parents)
+                        )
+                        cursors[w] += take
+                        budget -= take
+                    last_subround = all(
+                        pending_rows[w] == cursors[w] for w in range(worker_count)
+                    )
+                    round_errors: List[Tuple[int, int, int]] = []
+                    for w, conn in enumerate(connections):
+                        reply = conn.recv()
+                        if reply[0] == "exception":
+                            raise VerificationError(
+                                f"sharded BFS worker failed: {reply[1]}"
+                            )
+                        _, new_count, accepted_rows, errors, bucket_rows, name = reply
+                        visited_count += new_count
+                        total_rows = accepted_rows + sum(bucket_rows)
+                        if total_rows:
+                            out = readers[w].view(name, total_rows, columns)
+                            if accepted_buffers is not None and accepted_rows:
+                                accepted_buffers.append(out[:accepted_rows].copy())
+                            offset = accepted_rows
+                            for destination in range(worker_count):
+                                rows = bucket_rows[destination]
+                                if rows:
+                                    segment = out[offset : offset + rows]
+                                    next_views[destination].append(
+                                        segment if last_subround else segment.copy()
+                                    )
+                                offset += rows
+                            del out
+                        round_errors.extend(errors)
+                    if round_errors:
+                        # Deterministic witness choice: the minimal
+                        # (parent, mask) pair, independent of worker order.
+                        error = min(round_errors, key=lambda e: (e[0], e[1]))
+                        break
+                levels += 1
+                if error is None and not truncated:
+                    for destination in range(worker_count):
+                        pending_rows[destination] = inboxes[destination].write(
+                            next_views[destination], columns
+                        )[1]
+                for views in next_views:
+                    views.clear()
+        finally:
+            close_all(readers)
+            close_all(inboxes)
+
+        parents: Optional[Dict[int, Tuple[int, int]]] = None
+        if accepted_buffers is not None:
+            parents = self._decode_parent_buffers(accepted_buffers, words)
+        return ExplorationOutcome(
+            engine=self.name,
+            visited_count=visited_count,
+            truncated=truncated,
+            error_found=error is not None,
+            error_parent=error[0] if error else None,
+            error_label=error[1] if error else None,
+            error_state=error[2] if error else None,
+            levels=levels,
+            parents=parents,
         )
 
     def _coordinate_packed(
@@ -673,7 +1027,7 @@ class ShardedEngine:
         """
         import numpy as np
 
-        from .kernel import NO_PARENT_LABEL, hash_words, unpack_words
+        from .kernel import NO_PARENT_LABEL, hash_words
 
         words = system.packed_words
         columns = 2 * words + 1
@@ -756,19 +1110,7 @@ class ShardedEngine:
 
         parents: Optional[Dict[int, Tuple[int, int]]] = None
         if accepted_buffers is not None:
-            parents = {}
-            for matrix in accepted_buffers:
-                states = unpack_words(np.ascontiguousarray(matrix[:, :words]))
-                parent_ints = unpack_words(
-                    np.ascontiguousarray(matrix[:, words : 2 * words])
-                )
-                labels = matrix[:, 2 * words]
-                is_root = (labels == NO_PARENT_LABEL).tolist()
-                for state, parent, label, root in zip(
-                    states, parent_ints, labels.tolist(), is_root
-                ):
-                    if not root:
-                        parents[state] = (parent, label)
+            parents = self._decode_parent_buffers(accepted_buffers, words)
         return ExplorationOutcome(
             engine=self.name,
             visited_count=visited_count,
@@ -890,7 +1232,7 @@ class VectorizedEngine:
             )
         import numpy as np
 
-        from .kernel import PackedStateTable, as_void, unpack_words, void_to_words
+        from .kernel import PackedStateTable, unpack_words
 
         system = source.system
         max_states = int(max_states)
@@ -910,15 +1252,15 @@ class VectorizedEngine:
         error: Optional[Tuple[int, int, int]] = None
 
         while frontier_words.shape[0]:
-            indptr, succ_words, masks, miss = system.successor_tables_words(
-                frontier_words
+            indptr, succ_words, masks, miss, origin = (
+                system.successor_tables_words_origin(frontier_words)
             )
             levels += 1
             if miss.any():
                 # Deterministic witness: the minimal (parent, mask) pair of
                 # this level, matching the sharded engine's choice.
                 rows = np.flatnonzero(miss)
-                parent_rows = np.searchsorted(indptr, rows, side="right") - 1
+                parent_rows = origin[rows]
                 candidates = []
                 for row, parent_row in zip(rows.tolist(), parent_rows.tolist()):
                     parent = unpack_words(
@@ -929,27 +1271,24 @@ class VectorizedEngine:
                 error = min(candidates, key=lambda e: (e[0], e[1]))
                 break
 
-            candidates = as_void(succ_words)
-            if candidates.shape[0] == 0:
+            if succ_words.shape[0] == 0:
                 break
-            unique_values, first_rows = np.unique(candidates, return_index=True)
-            _, inserted = visited.intern(void_to_words(unique_values, words))
-            new_values = unique_values[inserted]
-            new_rows = first_rows[inserted]
-            if new_values.shape[0] == 0:
+            # Fused dedupe–intern: one batched hash-table pass replaces the
+            # np.unique staging; the returned first-occurrence rows come
+            # ordered by the (value-ascending) new ids, reproducing the old
+            # sorted-unique frontier (and its deterministic truncation
+            # prefix) exactly.
+            _, _, new_rows = visited.intern_dedup(succ_words)
+            if new_rows.shape[0] == 0:
                 break
-            # Enforce the state cap within the level so the reported visited
-            # count never outgrows max_states (unique values are sorted, so
-            # the kept prefix is deterministic).
             remaining = max_states - visited_count
-            if new_values.shape[0] >= remaining:
+            if new_rows.shape[0] >= remaining:
                 truncated = True
-                new_values = new_values[:remaining]
                 new_rows = new_rows[:remaining]
-            new_frontier_words = void_to_words(new_values, words)
+            new_frontier_words = succ_words[new_rows]
             if parents is not None:
                 new_ints = unpack_words(new_frontier_words)
-                parent_rows = np.searchsorted(indptr, new_rows, side="right") - 1
+                parent_rows = origin[new_rows]
                 new_masks = masks[new_rows].tolist()
                 for state, parent_row, mask in zip(
                     new_ints, parent_rows.tolist(), new_masks

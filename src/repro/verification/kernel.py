@@ -48,6 +48,7 @@ in :mod:`repro.verification.engine`).
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Mapping
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -55,6 +56,9 @@ import numpy as np
 
 from ..exceptions import VerificationError
 from ..scheduler.packed import unpack_words
+from . import spill as _spill
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "PackedStateTable",
@@ -98,8 +102,9 @@ def hash_words(word_matrix: np.ndarray) -> np.ndarray:
     rows = word_matrix.shape[0]
     h = np.full(rows, _GOLDEN, dtype=np.uint64)
     for j in range(word_matrix.shape[1]):
-        x = word_matrix[:, j].copy()
-        x ^= x >> np.uint64(30)
+        column = word_matrix[:, j]
+        x = column >> np.uint64(30)
+        x ^= column
         x *= _SPLIT_C1
         x ^= x >> np.uint64(27)
         x *= _SPLIT_C2
@@ -157,14 +162,30 @@ class PackedStateTable:
     expected probe length to a small constant — amortized O(1) membership
     and insert per key, independent of table size.
 
-    ``intern`` requires the batch itself to be duplicate-free (the engines
-    always pass ``np.unique`` output); ``lookup`` and ``contains`` accept
-    anything.
+    ``intern`` requires the batch itself to be duplicate-free;
+    :meth:`intern_dedup` accepts arbitrary duplicate-laden batches and
+    dedupes them *inside* the probe loop — the engines' per-level set
+    operation.  ``lookup`` and ``contains`` accept anything.
+
+    Args:
+        words: ``uint64`` words per state row.
+        initial_capacity: initial slot-array capacity (rounded up to a
+            power of two).
+        store: optional :class:`~repro.verification.spill.SpillStore`
+            backing the slot array and the key pages — beyond the
+            configured byte budget they live in memmaps instead of RAM.
     """
 
-    __slots__ = ("_words", "_capacity", "_mask", "_slots", "_states", "_size")
+    __slots__ = (
+        "_words", "_capacity", "_mask", "_slots", "_states", "_size", "_store"
+    )
 
-    def __init__(self, words: int = 1, initial_capacity: int = 1 << 12) -> None:
+    def __init__(
+        self,
+        words: int = 1,
+        initial_capacity: int = 1 << 12,
+        store: Optional[_spill.SpillStore] = None,
+    ) -> None:
         if words < 1:
             raise ValueError(f"state word count must be positive, got {words}")
         capacity = 8
@@ -173,9 +194,20 @@ class PackedStateTable:
         self._words = int(words)
         self._capacity = capacity
         self._mask = np.uint64(capacity - 1)
-        self._slots = np.full(capacity, -1, dtype=np.int64)
-        self._states = np.zeros((max(capacity >> 1, 8), self._words), dtype=np.uint64)
+        self._store = store
+        # Slot entries are int32: a dense id (or an in-batch provisional
+        # marker) always fits, and halving the probe array's bytes halves
+        # the cache and RSS cost of the random probe traffic.
+        self._slots = self._alloc((capacity,), np.int32, fill=-1)
+        self._states = self._alloc((max(capacity >> 1, 8), self._words), np.uint64)
         self._size = 0
+
+    def _alloc(self, shape, dtype, fill=None) -> np.ndarray:
+        if self._store is not None:
+            return self._store.alloc(shape, dtype, fill=fill)
+        if fill is None:
+            return np.zeros(shape, dtype=dtype)
+        return np.full(shape, fill, dtype=dtype)
 
     # ------------------------------------------------------------ properties
     @property
@@ -213,6 +245,10 @@ class PackedStateTable:
             return result
         slots = self._slots
         states = self._states
+        # Single-word states compare on flat vectors (saves the 2-d gather
+        # plus the all(axis=1) reduction on the hot path).
+        flat_states = states[:, 0] if self._words == 1 else None
+        flat_keys = keys[:, 0] if self._words == 1 else None
         pos = hashes & self._mask
         pending = np.arange(m)
         while pending.size:
@@ -222,7 +258,10 @@ class PackedStateTable:
             if occupied.any():
                 rows = pending[occupied]
                 candidates = found_ids[occupied]
-                equal = (states[candidates] == keys[rows]).all(axis=1)
+                if flat_states is not None:
+                    equal = flat_states[candidates] == flat_keys[rows]
+                else:
+                    equal = (states[candidates] == keys[rows]).all(axis=1)
                 result[rows[equal]] = candidates[equal]
                 pending = rows[~equal]
             else:
@@ -255,26 +294,49 @@ class PackedStateTable:
     def _reserve(self, incoming: int) -> None:
         """Grow key store / rehash slots so ``incoming`` inserts stay < 0.6 load."""
         needed = self._size + incoming
+        if needed >= 2**31 - 2:
+            raise VerificationError(
+                "packed state table exceeds the int32 id space "
+                f"({needed:,} states)"
+            )
         if needed > self._states.shape[0]:
             state_capacity = self._states.shape[0]
             while state_capacity < needed:
                 state_capacity <<= 1
-            grown = np.zeros((state_capacity, self._words), dtype=np.uint64)
-            grown[: self._size] = self._states[: self._size]
+            grown = self._alloc((state_capacity, self._words), np.uint64)
+            if self._store is not None:
+                self._store.copy_rows(grown, self._states, self._size)
+                self._store.release(self._states)
+            else:
+                grown[: self._size] = self._states[: self._size]
             self._states = grown
         if needed * 5 >= self._capacity * 3:
             capacity = self._capacity
             while needed * 5 >= capacity * 3:
                 capacity <<= 1
+            if self._size >= (1 << 17):
+                # Large tables grow 4x extra per rehash: re-claiming
+                # millions of existing keys dominates the claim cost, and
+                # the wider headroom cuts the number of big rehashes
+                # (usually absorbing the final one entirely) for two
+                # extra doublings of the 8-byte slot array.
+                capacity <<= 2
             self._capacity = capacity
             self._mask = np.uint64(capacity - 1)
-            self._slots = np.full(capacity, -1, dtype=np.int64)
+            if self._store is not None:
+                self._store.release(self._slots)
+            self._slots = self._alloc((capacity,), np.int32, fill=-1)
             if self._size:
                 existing = self._states[: self._size]
                 self._claim_slots(
                     np.arange(self._size, dtype=np.int64),
                     self._hash_words(existing),
                 )
+        if self._store is not None:
+            # Growth dirties whole replacement arrays at once; drop the
+            # spilled pages immediately instead of waiting for the next
+            # level boundary.
+            self._store.relax()
 
     # ------------------------------------------------------------ operations
     def lookup(self, keys: np.ndarray) -> np.ndarray:
@@ -315,15 +377,193 @@ class PackedStateTable:
             self._claim_slots(new_ids, hashes[new_rows])
         return ids, new_mask
 
+    def intern_dedup(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ids of an arbitrary, duplicate-laden key batch in one fused pass.
+
+        The engines' per-level set operation: successor multisets go in,
+        dense ids come out, and the dedupe happens *inside* the
+        open-addressing probe loop instead of a separate
+        ``np.unique``-of-void-views sort.  Every row probes from its hash;
+        a row that reaches an empty slot scatter-claims it with a
+        provisional marker (``-(row + 2)``; the re-read decides races), so
+        later duplicates of the same key resolve against the winner's
+        marker exactly like they resolve against an interned id — one probe
+        chain per row, no pre-sort, no second insert pass.
+
+        New keys still receive consecutive ids ascending by packed value
+        within the batch (the claim winners — one per distinct new key —
+        are sorted before ids are assigned), so the result is id-for-id
+        identical to the historical ``np.unique`` + :meth:`intern`
+        pipeline: deterministic truncation-by-id-prefix is preserved.
+
+        Returns:
+            ``(ids, first_mask, new_rows)`` — the ``int64`` dense id of
+            every input row (duplicate rows map to the same id), a boolean
+            mask flagging, for each *newly inserted* key, its first
+            occurrence row (the lowest row index, matching ``np.unique``'s
+            stable ``return_index``), and those same first-occurrence rows
+            ordered by ascending new id (equivalently: by packed value) —
+            the order the callers append parent records and frontiers in.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64).reshape(-1, self._words)
+        m = keys.shape[0]
+        first_mask = np.zeros(m, dtype=bool)
+        if m == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, first_mask, empty
+        if self._words == 1:
+            # Single-word fast path: numpy's stable grouping on the raw
+            # 64-bit word beats a Python-driven probe loop here (the probes
+            # then touch only the distinct keys).  The void-view sort this
+            # method replaces never existed for one-word states.
+            unique_values, first_rows, inverse = np.unique(
+                keys[:, 0], return_index=True, return_inverse=True
+            )
+            unique_ids, new_mask = self.intern(unique_values.reshape(-1, 1))
+            ids = unique_ids[inverse]
+            new_rows = first_rows[new_mask].astype(np.int64)
+            first_mask[new_rows] = True
+            return ids, first_mask, new_rows
+        # Worst case every row is a distinct new key: reserving up front
+        # keeps the load factor bounded while this batch claims slots.
+        self._reserve(m)
+        ids = np.full(m, -1, dtype=np.int64)
+        slots = self._slots
+        states = self._states
+        if self._words == 2:
+            # Column-view compares skip the 2-d gather + all(axis=1)
+            # reduction on the (dominant) two-word hot path.
+            s0, s1 = states[:, 0], states[:, 1]
+            k0, k1 = keys[:, 0], keys[:, 1]
+
+            def matches_state(candidates, rows):
+                return (s0[candidates] == k0[rows]) & (s1[candidates] == k1[rows])
+
+            def matches_key(owners, rows):
+                return (k0[owners] == k0[rows]) & (k1[owners] == k1[rows])
+
+        else:
+
+            def matches_state(candidates, rows):
+                return (states[candidates] == keys[rows]).all(axis=1)
+
+            def matches_key(owners, rows):
+                return (keys[owners] == keys[rows]).all(axis=1)
+
+        hashes = self._hash_words(keys)
+        base = self._size
+        pos = hashes & self._mask
+        pending = np.arange(m)
+        empty_rows = np.empty(0, dtype=np.int64)
+        claim_pos = np.empty(m, dtype=np.int64)
+        while pending.size:
+            probe = pos[pending]
+            found = slots[probe]
+            empty = found == -1
+            if empty.any():
+                # Scatter-claim: several rows may race for one slot; the
+                # re-read decides.  Losers stay put — next iteration they
+                # compare against the winner's marker like any duplicate.
+                # Duplicate scatter indices resolve last-write-wins, so
+                # writing in reverse order makes the earliest pending entry
+                # the winner; duplicate rows of one key always travel
+                # together in ascending row order, so the winner is the
+                # lowest row — first_mask matches np.unique's stable
+                # return_index exactly.
+                erows = pending[empty]
+                eprobe = probe[empty]
+                slots[eprobe[::-1]] = -(erows[::-1] + 2)
+                won = slots[eprobe] == -(erows + 2)
+                wrows = erows[won]
+                first_mask[wrows] = True
+                claim_pos[wrows] = eprobe[won]
+                stay = erows[~won]
+                keep = ~empty
+                rest = pending[keep]
+                rest_found = found[keep]
+            else:
+                stay = empty_rows
+                rest = pending
+                rest_found = found
+            if rest.size:
+                provisional = rest_found < -1
+                if provisional.any():
+                    real = ~provisional
+                    rrows = rest[real]
+                    candidates = rest_found[real]
+                    equal = matches_state(candidates, rrows)
+                    ids[rrows[equal]] = candidates[equal]
+                    advanced_real = rrows[~equal]
+                    prows = rest[provisional]
+                    markers = rest_found[provisional]
+                    equal = matches_key(-markers - 2, prows)
+                    # Duplicates of a still-provisional key record the
+                    # marker; it becomes the final id after the loop.
+                    ids[prows[equal]] = markers[equal]
+                    advanced_prov = prows[~equal]
+                    if advanced_prov.size:
+                        advanced = np.concatenate((advanced_real, advanced_prov))
+                    else:
+                        advanced = advanced_real
+                else:
+                    equal = matches_state(rest_found, rest)
+                    ids[rest[equal]] = rest_found[equal]
+                    advanced = rest[~equal]
+                if advanced.size:
+                    pos[advanced] = (pos[advanced] + _ONE) & self._mask
+                pending = (
+                    np.concatenate((stay, advanced)) if stay.size else advanced
+                )
+            else:
+                pending = stay
+        new_rows = np.flatnonzero(first_mask)
+        if new_rows.size:
+            new_keys = keys[new_rows]
+            # Final ids ascend by packed value within the batch — the
+            # determinism contract of the unique+intern pipeline — so only
+            # the distinct *new* keys are sorted, never the whole batch.
+            order = np.lexsort(
+                tuple(new_keys[:, j] for j in range(self._words - 1, -1, -1))
+            )
+            sorted_rows = new_rows[order]
+            new_ids = base + np.arange(sorted_rows.size, dtype=np.int64)
+            states[new_ids] = keys[sorted_rows]
+            slots[claim_pos[sorted_rows]] = new_ids
+            self._size = base + int(sorted_rows.size)
+            final_of_row = np.empty(m, dtype=np.int64)
+            final_of_row[sorted_rows] = new_ids
+            ids[new_rows] = final_of_row[new_rows]
+            markers = ids < -1
+            if markers.any():
+                ids[markers] = final_of_row[-(ids[markers]) - 2]
+            new_rows = sorted_rows
+        return ids, first_mask, new_rows
+
 
 class _GrowableRows:
-    """Append-only numpy array with amortized-O(1) geometric growth."""
+    """Append-only numpy array with amortized-O(1) geometric growth.
 
-    __slots__ = ("_data", "_len")
+    With a :class:`~repro.verification.spill.SpillStore` attached, growth
+    beyond the byte budget lands in memmapped chunks — the CSR transition
+    arrays are the kernel's largest append-only consumers.
+    """
 
-    def __init__(self, dtype, cols: int = 0, capacity: int = 16) -> None:
+    __slots__ = ("_data", "_len", "_store")
+
+    def __init__(
+        self,
+        dtype,
+        cols: int = 0,
+        capacity: int = 16,
+        store: Optional[_spill.SpillStore] = None,
+    ) -> None:
         shape = (capacity,) if cols == 0 else (capacity, cols)
-        self._data = np.zeros(shape, dtype=dtype)
+        self._store = store
+        self._data = store.alloc(shape, dtype) if store is not None else np.zeros(
+            shape, dtype=dtype
+        )
         self._len = 0
 
     def extend(self, rows: np.ndarray) -> None:
@@ -332,8 +572,14 @@ class _GrowableRows:
             capacity = self._data.shape[0]
             while capacity < needed:
                 capacity <<= 1
-            grown = np.zeros((capacity,) + self._data.shape[1:], self._data.dtype)
-            grown[: self._len] = self._data[: self._len]
+            shape = (capacity,) + self._data.shape[1:]
+            if self._store is not None:
+                grown = self._store.alloc(shape, self._data.dtype)
+                self._store.copy_rows(grown, self._data, self._len)
+                self._store.release(self._data)
+            else:
+                grown = np.zeros(shape, self._data.dtype)
+                grown[: self._len] = self._data[: self._len]
             self._data = grown
         self._data[self._len : needed] = rows
         self._len = needed
@@ -432,6 +678,7 @@ class CompiledStateGraph:
         "system",
         "words",
         "table",
+        "store",
         "level_ptr",
         "expanded_levels",
         "complete",
@@ -447,7 +694,13 @@ class CompiledStateGraph:
     def __init__(self, system) -> None:
         self.system = system
         self.words = int(system.packed_words)
-        self.table = PackedStateTable(self.words)
+        #: Byte-budgeted allocator of the long-lived arrays; ``None`` when
+        #: no ``REPRO_STATE_BUDGET_BYTES`` budget is configured, in which
+        #: case everything lives in plain RAM arrays as before.
+        self.store = (
+            _spill.SpillStore() if _spill.state_budget_bytes() is not None else None
+        )
+        self.table = PackedStateTable(self.words, store=self.store)
         self.table.intern(system.pack_words([system.initial]))
         #: ``level_ptr[d] : level_ptr[d + 1]`` is the id range of BFS depth d.
         self.level_ptr: List[int] = [0, 1]
@@ -460,12 +713,23 @@ class CompiledStateGraph:
         self.error: Optional[Tuple[int, int, int]] = None
         #: Level whose expansion found the error (``-1`` while error-free).
         self.error_level = -1
-        self._indptr = _GrowableRows(np.int64)
+        self._indptr = _GrowableRows(np.int64, store=self.store)
         self._indptr.extend(np.zeros(1, dtype=np.int64))
-        self._succ_ids = _GrowableRows(np.int32)
-        self._labels = _GrowableRows(np.uint64)
-        self._parent_ids = _GrowableRows(np.int32)
-        self._parent_labels = _GrowableRows(np.uint64)
+        self._succ_ids = _GrowableRows(np.int32, store=self.store)
+        self._labels = _GrowableRows(np.uint64, store=self.store)
+        self._parent_ids = _GrowableRows(np.int32, store=self.store)
+        self._parent_labels = _GrowableRows(np.uint64, store=self.store)
+
+    def close(self) -> None:
+        """Release the spill store (memmap handles + files), if any.
+
+        Called when the graph is dropped from its system
+        (:meth:`~repro.scheduler.packed.PackedSlotSystem.clear_memo` /
+        ``clear_packed_caches``) so spilled graphs cannot leak file
+        descriptors or tempdir contents across configurations.
+        """
+        if self.store is not None:
+            self.store.close()
 
     # ------------------------------------------------------------ accessors
     @property
@@ -524,14 +788,14 @@ class CompiledStateGraph:
         k = self.expanded_levels
         first, last = self.level_ptr[k], self.level_ptr[k + 1]
         frontier_words = self.table.state_words[first:last]
-        indptr, succ_words, masks, miss = self.system.successor_tables_words(
-            frontier_words
+        indptr, succ_words, masks, miss, origin = (
+            self.system.successor_tables_words_origin(frontier_words)
         )
         self.expanded_levels = k + 1
         if miss.any():
             frontier = self.states_as_ints(first, last)
             rows = np.flatnonzero(miss)
-            parent_rows = np.searchsorted(indptr, rows, side="right") - 1
+            parent_rows = origin[rows]
             candidates = []
             for row, parent_row in zip(rows.tolist(), parent_rows.tolist()):
                 successor = unpack_words(succ_words[row : row + 1])[0]
@@ -544,23 +808,27 @@ class CompiledStateGraph:
         if succ_words.shape[0] == 0:  # pragma: no cover - states always expand
             self.complete = True
             return
-        unique_void, first_rows, inverse = np.unique(
-            as_void(succ_words), return_index=True, return_inverse=True
-        )
-        ids, new_mask = self.table.intern(void_to_words(unique_void, self.words))
+        # Fused dedupe–intern: the duplicate-laden successor multiset goes
+        # straight into the hash table; ids come back per transition row
+        # (no np.unique staging, no void-view sort).
+        ids, _, firsts = self.table.intern_dedup(succ_words)
         base = len(self._succ_ids)
         self._indptr.extend(indptr[1:] + base)
-        self._succ_ids.extend(ids[inverse].astype(np.int32))
+        self._succ_ids.extend(ids)
         self._labels.extend(masks)
-        new_rows = np.flatnonzero(new_mask)
-        if new_rows.size == 0:
+        if firsts.size == 0:
             self.complete = True
             return
-        firsts = first_rows[new_rows]
-        parent_rows = np.searchsorted(indptr, firsts, side="right") - 1
-        self._parent_ids.extend((first + parent_rows).astype(np.int32))
+        # Parent records live at row id-1; firsts already come ordered by
+        # the (value-ascending) new ids.
+        parent_rows = origin[firsts]
+        self._parent_ids.extend(first + parent_rows)
         self._parent_labels.extend(masks[firsts])
         self.level_ptr.append(self.table.size)
+        if self.store is not None and self.store.spilled:
+            # Keep the RSS near the configured budget: drop the spilled
+            # mappings' resident pages once per compiled level.
+            self.store.relax()
 
     # -------------------------------------------------------- serialization
     def save(self, path) -> None:
@@ -677,7 +945,9 @@ class CompiledStateGraph:
             )
         graph = cls(system)
         table = PackedStateTable(
-            system.packed_words, initial_capacity=max(2 * count, 1 << 12)
+            system.packed_words,
+            initial_capacity=max(2 * count, 1 << 12),
+            store=graph.store,
         )
         _, new_mask = table.intern(state_words)
         level_ptr = arrays["level_ptr"].astype(np.int64).tolist()
@@ -703,16 +973,16 @@ class CompiledStateGraph:
             )
             parent, successor = unpack_words(error_words)
             graph.error = (parent, error_mask, successor)
-        for store_name, key, dtype in (
+        for attr_name, key, dtype in (
             ("_indptr", "indptr", np.int64),
             ("_succ_ids", "succ_ids", np.int32),
             ("_labels", "labels", np.uint64),
             ("_parent_ids", "parent_ids", np.int32),
             ("_parent_labels", "parent_labels", np.uint64),
         ):
-            store = _GrowableRows(dtype)
-            store.extend(arrays[key].astype(dtype))
-            setattr(graph, store_name, store)
+            rows = _GrowableRows(dtype, store=graph.store)
+            rows.extend(arrays[key].astype(dtype))
+            setattr(graph, attr_name, rows)
         return graph
 
     # ---------------------------------------------------------- exploration
@@ -975,7 +1245,10 @@ def save_graph(system, path) -> str:
 def load_graph(system, path) -> CompiledStateGraph:
     """Load a saved graph and install it as the system's compiled graph."""
     graph = CompiledStateGraph.load(path, system)
+    previous = system.compiled_graph
     system.compiled_graph = graph
+    if previous is not None and previous is not graph:
+        previous.close()
     return graph
 
 
@@ -1002,11 +1275,18 @@ def maybe_load_graph(system, directory: Optional[str]) -> bool:
         return False
     try:
         load_graph(system, path)
-    except Exception:
+    except Exception as error:
         # Anything a stale or truncated cache file can throw (BadZipFile,
         # zlib errors, our own mismatch/corruption checks, ...) means the
-        # same thing here: no usable graph, explore from scratch.
+        # same thing here: no usable graph, log it and explore from
+        # scratch — a corrupt cache must never fail a verification (the
+        # dimensioner probes dozens of configurations through this path).
         system.compiled_graph = None
+        logger.warning(
+            "ignoring unusable compiled-graph cache %s (recompiling): %s",
+            path,
+            error,
+        )
         return False
     return True
 
@@ -1032,12 +1312,18 @@ def maybe_save_graph(system, directory: Optional[str]) -> Optional[str]:
     path = graph_cache_path(directory, system.config)
     if os.path.exists(path):
         return None
-    os.makedirs(directory, exist_ok=True)
     temp_path = f"{path}.tmp-{os.getpid()}"
     try:
+        os.makedirs(directory, exist_ok=True)
         with open(temp_path, "wb") as handle:
             graph.save(handle)
         os.replace(temp_path, path)
+    except OSError as error:
+        # The cache directory is an optimization: a full disk or a
+        # read-only mount must never fail the verification that produced
+        # the graph.
+        logger.warning("could not persist compiled graph to %s: %s", path, error)
+        return None
     finally:
         if os.path.exists(temp_path):
             os.unlink(temp_path)

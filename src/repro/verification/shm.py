@@ -1,0 +1,211 @@
+"""Shared-memory frontier buffers for the sharded exploration engine.
+
+The sharded BFS (:class:`repro.verification.engine.ShardedEngine`) is
+level-synchronous: once per BFS level the coordinator and the workers
+exchange whole-frontier batches of packed ``uint64`` rows (candidate
+states, parent records, cross-shard successors).  Up to PR 4 those batches
+travelled *through* the coordinator pipes as byte payloads — one
+serialization copy on the sender, the pipe's kernel copies in 64 KiB
+chunks, another copy on the receiver.  At multi-million-state frontiers
+the exchange cost rivals the expansion itself.
+
+This module moves the payload out of the pipes: every endpoint owns one
+:class:`FrontierRing` per direction — a grow-on-demand
+``multiprocessing.shared_memory`` segment it alone writes — and the pipes
+carry only level barriers and ``(segment name, row offset, row count)``
+descriptors.  Rows are written once into the ring and read in place on
+the other side (sub-round dispatch slices are plain offsets into the same
+segment, so a level is written exactly once however the state cap splits
+it).  Readers attach segments lazily through :class:`FrontierReader`,
+which caches the attachment until the writer grows (and renames) its
+ring.
+
+Ownership and cleanup: the creator of a segment unlinks it (workers own
+their outboxes, the coordinator owns the inboxes).  Attachments
+deregister themselves from the ``multiprocessing`` resource tracker —
+attaching must not double-register a segment the owner already tracks,
+or the tracker reaps segments that are still in use and floods stderr at
+exit.  ``REPRO_SHARDED_SHM=0`` (or an environment where POSIX shared
+memory is unavailable) falls back to the PR 4 bytes-over-pipe transport.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SHARED_FRONTIERS_ENV_VAR",
+    "FrontierReader",
+    "FrontierRing",
+    "shared_frontiers_enabled",
+]
+
+#: Environment variable disabling the shared-memory transport (any of
+#: ``0``/``off``/``no``/``false``); the engine then uses pipe payloads.
+SHARED_FRONTIERS_ENV_VAR = "REPRO_SHARDED_SHM"
+
+#: Smallest segment allocated (grows by doubling).
+_MIN_SEGMENT_BYTES = 1 << 16
+
+
+def _attach(name: str):
+    """Attach an existing segment without taking over its tracking.
+
+    On Python 3.13+ ``track=False`` skips the resource-tracker
+    registration outright.  On older versions the attach re-registers the
+    name, which is harmless here: the engine only runs under the ``fork``
+    start method, so creator and attacher share one tracker process and
+    its name set — the creator's single ``unlink`` balances the books.
+    (Explicitly unregistering after an attach would *remove* the
+    creator's registration from the shared tracker and make its unlink
+    crash the tracker thread.)
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def shared_frontiers_enabled() -> bool:
+    """Whether the shared-memory frontier transport is usable here.
+
+    Checks the ``REPRO_SHARDED_SHM`` opt-out, then probes one tiny
+    segment — containers without a writable ``/dev/shm`` (or platforms
+    without POSIX shared memory) degrade to the pipe transport instead of
+    failing the exploration.
+    """
+    if os.environ.get(SHARED_FRONTIERS_ENV_VAR, "").strip().lower() in {
+        "0",
+        "off",
+        "no",
+        "false",
+    }:
+        return False
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=8)
+    except Exception:  # pragma: no cover - no POSIX shm on this host
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+class FrontierRing:
+    """Writer-owned shared segment of packed ``uint64`` rows.
+
+    One endpoint writes whole-level batches into the ring and ships
+    ``(name, rows)`` descriptors over the pipe; growth allocates a fresh
+    (larger) segment under a new name — the old one is unlinked
+    immediately, readers re-attach when the descriptor's name changes.
+    The whole payload is rewritten every level, so growth never copies.
+    """
+
+    __slots__ = ("_segment", "_capacity")
+
+    def __init__(self) -> None:
+        self._segment = None
+        self._capacity = 0
+
+    @property
+    def name(self) -> Optional[str]:
+        return None if self._segment is None else self._segment.name
+
+    def _ensure(self, nbytes: int) -> None:
+        if nbytes <= self._capacity:
+            return
+        from multiprocessing import shared_memory
+
+        capacity = max(self._capacity, _MIN_SEGMENT_BYTES)
+        while capacity < nbytes:
+            capacity <<= 1
+        old = self._segment
+        self._segment = shared_memory.SharedMemory(create=True, size=capacity)
+        self._capacity = capacity
+        if old is not None:
+            old.close()
+            old.unlink()
+
+    def write(self, matrices: Sequence[np.ndarray], columns: int) -> Tuple[str, int]:
+        """Write row matrices back to back; returns ``(name, total_rows)``.
+
+        The concatenation *is* the shared-memory write: bucket views from
+        several peers land directly in this ring, no intermediate array.
+        """
+        total = sum(matrix.shape[0] for matrix in matrices)
+        self._ensure(max(total * columns * 8, 8))
+        if total:
+            target = np.ndarray(
+                (total, columns), dtype=np.uint64, buffer=self._segment.buf
+            )
+            offset = 0
+            for matrix in matrices:
+                rows = matrix.shape[0]
+                if rows:
+                    target[offset : offset + rows] = matrix
+                    offset += rows
+            del target
+        return self._segment.name, total
+
+    def close(self) -> None:
+        """Close and unlink the segment (the writer owns it)."""
+        segment = self._segment
+        self._segment = None
+        self._capacity = 0
+        if segment is not None:
+            try:
+                segment.close()
+                segment.unlink()
+            except (BufferError, FileNotFoundError, OSError):
+                pass
+
+
+class FrontierReader:
+    """Reader-side attachment cache for one peer's :class:`FrontierRing`.
+
+    Views returned by :meth:`view` alias the shared segment — they are
+    valid until the next message from the same peer (the protocol
+    guarantees the writer does not reuse the ring before then); callers
+    copy anything they keep longer.
+    """
+
+    __slots__ = ("_segment",)
+
+    def __init__(self) -> None:
+        self._segment = None
+
+    def view(self, name: str, rows: int, columns: int, offset_rows: int = 0):
+        """An ``(rows, columns)`` ``uint64`` view starting at a row offset."""
+        if self._segment is None or self._segment.name != name:
+            self.close()
+            self._segment = _attach(name)
+        return np.ndarray(
+            (rows, columns),
+            dtype=np.uint64,
+            buffer=self._segment.buf,
+            offset=offset_rows * columns * 8,
+        )
+
+    def close(self) -> None:
+        segment = self._segment
+        self._segment = None
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a live view pins it
+                pass
+
+
+def close_all(closables: List) -> None:
+    """Best-effort close of a mixed ring/reader list (cleanup helper)."""
+    for closable in closables:
+        try:
+            closable.close()
+        except Exception:  # pragma: no cover - defensive teardown
+            pass

@@ -224,6 +224,119 @@ class TestEngineSemantics:
         assert sharded.explored_states == reference.explored_states
 
 
+class TestSequentialBatchedPath:
+    def test_batched_and_loop_paths_agree(
+        self, small_profile, second_small_profile, monkeypatch
+    ):
+        """The batched packed path (expand_frontier + intern_dedup) and
+        the per-state loop fallback must report identical outcomes —
+        counts, levels, truncation and parent stores."""
+        config = SlotSystemConfig.from_profiles((small_profile, second_small_profile))
+        batched = _explore("sequential", config)
+        monkeypatch.setattr(
+            PackedSlotSystem, "can_expand_frontier", property(lambda self: False)
+        )
+        loop = _explore("sequential", config)
+        assert loop.visited_count == batched.visited_count
+        assert loop.levels == batched.levels
+        assert set(loop.parents) == set(batched.parents)
+        sample = next(iter(loop.parents))
+        assert loop.parents[sample] == batched.parents[sample]
+
+    def test_batched_and_loop_paths_agree_on_truncation_and_errors(
+        self, small_profile, second_small_profile, tight_profile, monkeypatch
+    ):
+        feasible = SlotSystemConfig.from_profiles((small_profile, second_small_profile))
+        infeasible = SlotSystemConfig.from_profiles(
+            (small_profile, second_small_profile, tight_profile)
+        )
+        batched_capped = _explore("sequential", feasible, max_states=40)
+        batched_error = _explore("sequential", infeasible)
+        monkeypatch.setattr(
+            PackedSlotSystem, "can_expand_frontier", property(lambda self: False)
+        )
+        loop_capped = _explore("sequential", feasible, max_states=40)
+        loop_error = _explore("sequential", infeasible)
+        assert loop_capped.truncated and batched_capped.truncated
+        assert loop_capped.visited_count == batched_capped.visited_count == 40
+        assert not loop_error.feasible and not batched_error.feasible
+        assert loop_error.visited_count == batched_error.visited_count
+        assert loop_error.error_parent == batched_error.error_parent
+        assert loop_error.error_label == batched_error.error_label
+        assert loop_error.error_state == batched_error.error_state
+
+
+class TestSharedMemoryFrontiers:
+    """The sharded engine's shared-memory frontier exchange must be
+    result-identical to the pipe transport it replaces, and both must
+    match the sequential reference."""
+
+    def test_pipe_fallback_env_knob_matches_shm(
+        self, small_profile, second_small_profile, monkeypatch
+    ):
+        from repro.verification.shm import (
+            SHARED_FRONTIERS_ENV_VAR,
+            shared_frontiers_enabled,
+        )
+
+        config = SlotSystemConfig.from_profiles((small_profile, second_small_profile))
+        reference = _explore("sequential", config)
+        shm_outcome = _explore("sharded:2", config)
+        monkeypatch.setenv(SHARED_FRONTIERS_ENV_VAR, "0")
+        assert not shared_frontiers_enabled()
+        pipe_outcome = _explore("sharded:2", config)
+        for outcome in (shm_outcome, pipe_outcome):
+            assert outcome.visited_count == reference.visited_count
+            assert set(outcome.parents) == set(reference.parents)
+
+    def test_ring_growth_across_levels(
+        self, small_profile, second_small_profile, monkeypatch
+    ):
+        """A tiny initial segment forces the rings to grow (and rename)
+        mid-search; workers must re-attach transparently."""
+        from repro.verification import shm
+
+        monkeypatch.setattr(shm, "_MIN_SEGMENT_BYTES", 32)
+        config = SlotSystemConfig.from_profiles((small_profile, second_small_profile))
+        reference = _explore("sequential", config, with_parents=False)
+        outcome = _explore("sharded:2", config, with_parents=False)
+        assert outcome.visited_count == reference.visited_count
+
+    def test_infeasible_witness_through_shm(
+        self, small_profile, second_small_profile, tight_profile
+    ):
+        profiles = [small_profile, second_small_profile, tight_profile]
+        result = verify_slot_sharing(profiles, engine="sharded:2")
+        assert not result.feasible
+        assert result.counterexample and result.counterexample[-1].missed
+
+    def test_frontier_ring_write_and_read_roundtrip(self):
+        from repro.verification.shm import FrontierReader, FrontierRing
+
+        import numpy as np
+
+        ring = FrontierRing()
+        reader = FrontierReader()
+        try:
+            first = np.arange(12, dtype=np.uint64).reshape(4, 3)
+            second = np.arange(100, 106, dtype=np.uint64).reshape(2, 3)
+            name, rows = ring.write([first, second], 3)
+            assert rows == 6
+            view = reader.view(name, rows, 3)
+            assert (view == np.vstack([first, second])).all()
+            del view
+            # Growth renames the segment; stale attachments refresh.
+            big = np.ones((4096, 3), dtype=np.uint64)
+            new_name, rows = ring.write([big], 3)
+            assert rows == 4096
+            view = reader.view(new_name, rows, 3)
+            assert (view == 1).all()
+            del view
+        finally:
+            reader.close()
+            ring.close()
+
+
 class TestEngineSelection:
     def test_spec_strings_resolve(self):
         assert isinstance(resolve_engine("sequential"), SequentialPackedEngine)

@@ -187,13 +187,15 @@ class TestGraphDirectoryFlow:
         assert os.path.exists(graph_cache_path(directory, config))
 
         # "New process": caches dropped, the cached graph must replay with
-        # zero frontier expansions.
+        # zero frontier expansions.  (The kernel expands through
+        # successor_tables_words_origin — patch that, or a silent
+        # recompile would go unnoticed.)
         clear_packed_caches()
         calls = []
-        original = PackedSlotSystem.successor_tables_words
+        original = PackedSlotSystem.successor_tables_words_origin
         monkeypatch.setattr(
             PackedSlotSystem,
-            "successor_tables_words",
+            "successor_tables_words_origin",
             lambda self, words: calls.append(1) or original(self, words),
         )
         warm = verify_slot_sharing(
@@ -236,6 +238,86 @@ class TestGraphDirectoryFlow:
         fresh = PackedSlotSystem(config)
         assert not maybe_load_graph(fresh, directory)
         assert fresh.compiled_graph is None
+
+    def test_corrupt_cache_logs_and_recompiles(
+        self, tmp_path, small_profile, caplog
+    ):
+        """A corrupt or truncated cache entry must never raise out of
+        ``verify_slot_sharing`` (the dimensioner probes dozens of
+        configurations through it) — it logs a warning and recompiles."""
+        import logging
+
+        profiles = [small_profile]
+        directory = str(tmp_path)
+        cold = verify_slot_sharing(
+            profiles, with_counterexample=False, engine="kernel", graph_dir=directory
+        )
+        config = SlotSystemConfig.from_profiles(profiles)
+        path = graph_cache_path(directory, config)
+        with open(path, "wb") as handle:
+            handle.write(b"PK\x03\x04 truncated garbage")
+
+        from repro.scheduler.packed import clear_packed_caches
+
+        clear_packed_caches()
+        with caplog.at_level(logging.WARNING, logger="repro.verification.kernel"):
+            again = verify_slot_sharing(
+                profiles,
+                with_counterexample=False,
+                engine="kernel",
+                graph_dir=directory,
+            )
+        assert again.feasible == cold.feasible
+        assert again.explored_states == cold.explored_states
+        assert any("recompiling" in record.message for record in caplog.records)
+
+    def test_corrupt_cache_never_breaks_the_dimensioner(
+        self, tmp_path, small_profile, second_small_profile
+    ):
+        from repro.dimensioning.first_fit import dimension_with_verification
+
+        profiles = {
+            small_profile.name: small_profile,
+            second_small_profile.name: second_small_profile,
+        }
+        reference = dimension_with_verification(profiles, engine="kernel")
+        # Corrupt every cached graph the first run shipped.
+        clean = dimension_with_verification(
+            profiles, engine="kernel", graph_dir=str(tmp_path)
+        )
+        for name in os.listdir(tmp_path):
+            with open(tmp_path / name, "wb") as handle:
+                handle.write(b"not an npz at all")
+        from repro.scheduler.packed import clear_packed_caches
+
+        clear_packed_caches()
+        outcome = dimension_with_verification(
+            profiles, engine="kernel", graph_dir=str(tmp_path)
+        )
+        assert outcome.partition() == clean.partition() == reference.partition()
+
+    def test_unwritable_cache_directory_logs_and_continues(
+        self, tmp_path, small_profile, caplog
+    ):
+        """An unusable cache directory must not fail the verification that
+        produced the graph (maybe_save_graph is best-effort).  The
+        "directory" here is a plain file, so creating it raises — the
+        same OSError family a full disk or read-only mount produces."""
+        import logging
+
+        bogus = tmp_path / "cache"
+        bogus.write_bytes(b"")
+        with caplog.at_level(logging.WARNING, logger="repro.verification.kernel"):
+            result = verify_slot_sharing(
+                [small_profile],
+                with_counterexample=False,
+                engine="kernel",
+                graph_dir=str(bogus),
+            )
+        assert result.feasible
+        assert any(
+            "could not persist" in record.message for record in caplog.records
+        )
 
     def test_dimensioner_accepts_graph_dir(
         self, tmp_path, small_profile, second_small_profile

@@ -135,6 +135,96 @@ class TestPackedStateTable:
         assert unpack_words(matrix) == values
 
 
+def _reference_dedup(table: PackedStateTable, batch: np.ndarray):
+    """The historical per-level pipeline: np.unique staging + intern."""
+    words = batch.shape[1]
+    unique_values, first_rows, inverse = np.unique(
+        as_void(batch), return_index=True, return_inverse=True
+    )
+    unique_ids, new_mask = table.intern(void_to_words(unique_values, words))
+    ids = unique_ids[inverse]
+    first_mask = np.zeros(batch.shape[0], dtype=bool)
+    new_rows = first_rows[new_mask].astype(np.int64)
+    first_mask[new_rows] = True
+    return ids, first_mask, new_rows
+
+
+class TestInternDedup:
+    """The fused dedupe–intern pass must be id-for-id identical to the old
+    ``np.unique`` + ``intern`` pipeline on arbitrary duplicate-laden
+    batches — same per-row ids, same first-occurrence rows (lowest row
+    index per new key), same id-ordered new-row list, same table state."""
+
+    @pytest.mark.parametrize("words", [1, 2, 3])
+    def test_duplicate_heavy_fuzz_matches_reference(self, words):
+        rng = np.random.default_rng(2024 + words)
+        reference = PackedStateTable(words)
+        fused = PackedStateTable(words)
+        # A small value pool guarantees heavy duplication within batches
+        # *and* heavy re-encounters of already-interned keys across them.
+        pool = rng.integers(0, 64, size=(48, words)).astype(np.uint64)
+        for _ in range(25):
+            m = int(rng.integers(0, 200))
+            batch = pool[rng.integers(0, pool.shape[0], size=m)]
+            ref_ids, ref_mask, ref_rows = _reference_dedup(reference, batch)
+            ids, first_mask, new_rows = fused.intern_dedup(batch)
+            assert (ids == ref_ids).all()
+            assert (first_mask == ref_mask).all()
+            assert (new_rows == ref_rows).all()
+            assert fused.size == reference.size
+            assert (fused.state_words == reference.state_words).all()
+
+    @pytest.mark.parametrize("words", [1, 2])
+    def test_collision_heavy_degenerate_hash(self, words):
+        """Everything hashes to one slot: the probe loop degenerates to a
+        single chain and must still dedupe + intern exactly."""
+
+        class DegenerateTable(PackedStateTable):
+            def _hash_words(self, keys):
+                return np.zeros(keys.shape[0], dtype=np.uint64)
+
+        rng = np.random.default_rng(7)
+        reference = DegenerateTable(words, initial_capacity=8)
+        fused = DegenerateTable(words, initial_capacity=8)
+        pool = rng.integers(0, 9, size=(24, words)).astype(np.uint64)
+        for _ in range(10):
+            batch = pool[rng.integers(0, pool.shape[0], size=120)]
+            ref_ids, ref_mask, ref_rows = _reference_dedup(reference, batch)
+            ids, first_mask, new_rows = fused.intern_dedup(batch)
+            assert (ids == ref_ids).all()
+            assert (first_mask == ref_mask).all()
+            assert (new_rows == ref_rows).all()
+
+    def test_new_ids_ascend_by_packed_value(self):
+        table = PackedStateTable(words=2)
+        batch = np.array(
+            [[7, 1], [0, 5], [7, 1], [0, 3], [0, 5], [1, 0]], dtype=np.uint64
+        )
+        ids, first_mask, new_rows = table.intern_dedup(batch)
+        # Distinct values sorted: (0,3) < (0,5) < (1,0) < (7,1).
+        assert ids.tolist() == [3, 1, 3, 0, 1, 2]
+        assert first_mask.tolist() == [True, True, False, True, False, True]
+        # new_rows ordered by id: rows of (0,3), (0,5), (1,0), (7,1).
+        assert new_rows.tolist() == [3, 1, 5, 0]
+        # Duplicate rows of one key resolve to the lowest-row first flag.
+        assert table.size == 4
+
+    def test_empty_and_all_duplicate_batches(self):
+        table = PackedStateTable(words=2)
+        ids, first_mask, new_rows = table.intern_dedup(
+            np.zeros((0, 2), dtype=np.uint64)
+        )
+        assert ids.size == 0 and first_mask.size == 0 and new_rows.size == 0
+        batch = np.full((50, 2), 9, dtype=np.uint64)
+        ids, first_mask, new_rows = table.intern_dedup(batch)
+        assert (ids == 0).all()
+        assert first_mask.sum() == 1 and first_mask[0]
+        assert new_rows.tolist() == [0]
+        # Re-offering only known keys inserts nothing.
+        ids, first_mask, new_rows = table.intern_dedup(batch)
+        assert (ids == 0).all() and not first_mask.any() and new_rows.size == 0
+
+
 class TestCompiledStateGraph:
     def _system(self, *profiles, budget=None):
         return PackedSlotSystem(SlotSystemConfig.from_profiles(profiles, budget))
