@@ -1,0 +1,117 @@
+"""Delta warm-start benchmarks (group ``delta``).
+
+The first-fit flow verifies chains of neighboring configurations (the slot's
+current contents plus one candidate).  This group times the three sides of
+that story on the case-study chain {C1, C5, C4} -> {C1, C5, C4, C3}:
+
+* cold compile of the child configuration (the before side),
+* delta warm-started revalidation of the child from the parent's compiled
+  graph — byte-identical result, added-app-free successor rows of lifted
+  parent states gathered from the parent CSR instead of expanded,
+* the end-to-end first-fit sweep over all six case-study applications with
+  the default admission test (auto engine + parent handles), which must
+  reproduce the paper's 2-slot partition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import print_block
+from repro.casestudy import paper_profiles
+from repro.dimensioning.first_fit import dimension_with_verification
+from repro.scheduler.packed import PackedSlotSystem, clear_packed_caches
+from repro.scheduler.slot_system import SlotSystemConfig
+from repro.verification import instance_budgets
+from repro.verification.delta import warm_start_graph
+from repro.verification.kernel import CompiledStateGraph
+
+#: The paper's first-fit partition of the six case-study applications.
+PAPER_PARTITION = (("C1", "C5", "C4", "C3"), ("C6", "C2"))
+
+
+def _chain_configs():
+    profiles = paper_profiles()
+    parent = [profiles[name] for name in ("C1", "C5", "C4")]
+    child = [profiles[name] for name in ("C1", "C5", "C4", "C3")]
+    parent_config = SlotSystemConfig.from_profiles(parent, instance_budgets(parent))
+    child_config = SlotSystemConfig.from_profiles(child, instance_budgets(child))
+    return parent_config, child_config
+
+
+def _compile(config):
+    system = PackedSlotSystem(config)
+    system.compiled_graph = CompiledStateGraph(system)
+    system.compiled_graph.explore(5_000_000, False)
+    return system
+
+
+@pytest.mark.benchmark(group="delta")
+def test_bench_delta_cold_compile_child(benchmark):
+    """Cold compile of the child {C1, C5, C4, C3}: the before side."""
+    _, child_config = _chain_configs()
+
+    def run():
+        return _compile(child_config).compiled_graph
+
+    graph = benchmark.pedantic(run, iterations=1, rounds=2)
+    print_block(
+        "delta — cold compile of child {C1, C5, C4, C3}",
+        [f"{graph.state_count:,} states, {graph.transition_count:,} transitions"],
+    )
+    assert graph.complete and graph.error is None
+
+
+@pytest.mark.benchmark(group="delta")
+def test_bench_delta_warm_revalidation(benchmark):
+    """Warm-start + revalidate the child from the parent's compiled graph."""
+    parent_config, child_config = _chain_configs()
+    parent = _compile(parent_config)
+    reference = _compile(child_config).compiled_graph
+
+    def fresh_child():
+        return ((PackedSlotSystem(child_config),), {})
+
+    def run(child_system):
+        graph = warm_start_graph(parent.compiled_graph, child_system)
+        assert graph is not None
+        graph.explore(5_000_000, False)
+        return graph
+
+    graph = benchmark.pedantic(run, setup=fresh_child, iterations=1, rounds=3)
+    stats = graph.delta_stats
+    reused = stats["reused_rows"]
+    expanded = stats["expanded_rows"]
+    print_block(
+        "delta — warm revalidation of child {C1, C5, C4, C3}",
+        [
+            f"seeded from {stats['seed_states']:,} lifted parent states",
+            f"CSR rows reused from parent: {reused:,} "
+            f"({reused / max(reused + expanded, 1):.1%} of delta-level rows)",
+        ],
+    )
+    # Byte-identical outcome is the contract (fuzz-asserted in the test
+    # suite); the bench keeps the cheap structural cross-check.
+    assert graph.state_count == reference.state_count
+    assert graph.transition_count == reference.transition_count
+    assert graph.level_ptr == reference.level_ptr
+    assert reused > 0
+
+
+@pytest.mark.benchmark(group="delta")
+def test_bench_delta_first_fit_sweep(benchmark):
+    """End-to-end first-fit over the case study with parent warm starts."""
+    profiles = paper_profiles()
+
+    def run():
+        return dimension_with_verification(profiles)
+
+    outcome = benchmark.pedantic(run, setup=clear_packed_caches, iterations=1, rounds=2)
+    print_block(
+        "delta — first-fit sweep (auto engine, parent warm starts)",
+        [
+            f"partition: {outcome.partition()}",
+            f"{outcome.verifications} admission verifications",
+        ],
+    )
+    assert outcome.partition() == PAPER_PARTITION

@@ -32,7 +32,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 BASELINE="benchmarks/baselines/baseline.json"
 THRESHOLD="${BENCH_THRESHOLD:-0.35}"
 # (Not named GROUPS: that is a readonly bash builtin.)
-GATE_GROUPS=(${BENCH_GROUPS:-verification engines kernel expansion dedupe})
+GATE_GROUPS=(${BENCH_GROUPS:-verification engines kernel expansion dedupe delta})
 CURRENT="${BENCH_JSON:-$(mktemp /tmp/bench-current.XXXXXX.json)}"
 
 if [[ ! -f "$BASELINE" ]]; then

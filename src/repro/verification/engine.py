@@ -1394,15 +1394,22 @@ def resolve_engine(
         source: the transition source about to be explored; ``"auto"`` uses
             it to size the decision: a packed system whose compiled state
             graph is already frozen replays on the kernel engine for free,
-            large packed products shard when several cores are usable, and
-            everything else runs sequential.
+            large packed products shard when several cores are usable,
+            every other packed source the vectorized kernel can expand
+            *compiles* on the kernel engine (so later ``auto`` runs replay
+            and delta warm starts find parent graphs), and everything else
+            runs sequential.  Counts of ``auto`` runs are therefore
+            level-synchronous for packed sources (see the semantics notes
+            above and ``VerificationResult.count_semantics``); only generic
+            sources and kernel-incompatible configurations report the
+            sequential engine's discovery-order counts.
         max_states: the exploration cap of the query about to run.  The
-            ``"auto"`` kernel-replay upgrade only engages when the frozen
+            ``"auto"`` kernel-*replay* upgrade only engages when the frozen
             graph fits strictly under this cap — i.e. when the replay is
-            guaranteed to report the *identical* outcome (count, levels,
-            truncation, verdict) the sequential engine would — so the
-            result of an ``"auto"`` run never depends on which engines ran
-            earlier in the process.  Pass ``None`` to disable the upgrade.
+            guaranteed to report the identical outcome (count, levels,
+            truncation, verdict) a fresh compilation would.  Pass ``None``
+            to disable the replay upgrade (the compile-by-default choice
+            for expandable packed sources still applies).
     """
     if spec is not None and not isinstance(spec, str):
         if isinstance(spec, ExplorationEngine):
@@ -1435,8 +1442,7 @@ def resolve_engine(
                 and graph.state_count < max_states
             ):
                 # A frozen, cap-fitting compiled graph replays the whole
-                # search without expanding a state and reports exactly what
-                # the sequential engine would — the free upgrade.
+                # search without expanding a state — the free upgrade.
                 return CompiledKernelEngine()
             cores = available_worker_count()
             if (
@@ -1444,6 +1450,14 @@ def resolve_engine(
                 and source.system.estimated_state_count() >= AUTO_SHARD_THRESHOLD
             ):
                 return ShardedEngine(min(cores, 8))
+            if source.system.can_expand_frontier:
+                # Default for packed sources: compile the state graph during
+                # the first exploration, so every later ``auto`` run of the
+                # same configuration replays it in microseconds — and delta
+                # warm starts (:mod:`repro.verification.delta`) always find
+                # a parent graph to lift.  Counts are level-synchronous
+                # (see :class:`CompiledKernelEngine`).
+                return CompiledKernelEngine()
         return SequentialPackedEngine()
     if normalized == "sequential":
         return SequentialPackedEngine()

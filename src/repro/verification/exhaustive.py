@@ -46,6 +46,7 @@ from ..exceptions import VerificationError
 from ..scheduler.packed import packed_system_for
 from ..scheduler.slot_system import SlotSystemConfig
 from ..switching.profile import SwitchingProfile
+from .delta import maybe_warm_start_graph
 from .engine import PackedStateSource, resolve_engine
 from .kernel import GRAPH_DIR_ENV_VAR, maybe_load_graph, maybe_save_graph
 from .result import CounterexampleStep, VerificationResult, replay_counterexample
@@ -75,6 +76,19 @@ class ExhaustiveVerifier:
             replay it instead of re-expanding) and saves freshly completed
             graphs back, shipping warm graphs across processes and CI
             jobs.
+        parent_profiles: optional profiles of a *parent* configuration — a
+            previously verified neighbor that this configuration extends
+            (first-fit admission trials probe ``slot + [candidate]``
+            against the slot's current contents).  When the parent's
+            compiled graph is available — in memory, or in ``graph_dir``
+            under its fingerprint lineage key — and the delta is a pure
+            extension, the child graph is delta-warm-started from it
+            instead of cold-compiled (see
+            :mod:`repro.verification.delta`; ``REPRO_DELTA_WARMSTART=0``
+            disables).  Results are byte-identical either way.
+        parent_instance_budget: instance budgets the parent configuration
+            was verified with (budgets are part of the packed encoding, so
+            the parent graph is keyed on them).
     """
 
     def __init__(
@@ -84,6 +98,8 @@ class ExhaustiveVerifier:
         max_states: int = DEFAULT_MAX_STATES,
         engine: object = None,
         graph_dir: Optional[str] = None,
+        parent_profiles: Optional[Sequence[SwitchingProfile]] = None,
+        parent_instance_budget: Optional[Mapping[str, int]] = None,
     ) -> None:
         if not profiles:
             raise VerificationError("at least one application profile is required")
@@ -100,6 +116,14 @@ class ExhaustiveVerifier:
         self.packed = packed_system_for(self.config)
         if self.graph_dir:
             maybe_load_graph(self.packed, self.graph_dir)
+        self.warm_started = False
+        if parent_profiles:
+            parent_config = SlotSystemConfig.from_profiles(
+                parent_profiles, parent_instance_budget
+            )
+            self.warm_started = maybe_warm_start_graph(
+                self.packed, parent_config, self.graph_dir
+            )
 
     # ----------------------------------------------------------------- search
     def verify(
@@ -145,10 +169,20 @@ class ExhaustiveVerifier:
             for name in names
             if name in self._instance_budget and self._instance_budget[name] is not None
         )
+        engine_name = outcome.engine
+        graph = self.packed.compiled_graph
+        if (
+            engine_name == "kernel"
+            and graph is not None
+            and (graph.delta_stats or graph.delta_hints is not None)
+        ):
+            # The graph was (at least partly) delta-warm-started from a
+            # parent configuration's graph; surface it in the method tag.
+            engine_name = "kernel+delta"
         method = (
             "exhaustive"
-            if outcome.engine == "sequential"
-            else f"exhaustive[{outcome.engine}]"
+            if engine_name == "sequential"
+            else f"exhaustive[{engine_name}]"
         )
         result = VerificationResult(
             feasible=feasible,
@@ -159,6 +193,11 @@ class ExhaustiveVerifier:
             counterexample=counterexample,
             instance_budget=budget_items,
             truncated=outcome.truncated,
+            count_semantics=(
+                "discovery-order"
+                if outcome.engine == "sequential"
+                else "level-synchronous"
+            ),
         )
         return result.minimize() if minimize else result
 
@@ -199,12 +238,22 @@ def verify_slot_sharing(
     engine: object = None,
     minimize: bool = False,
     graph_dir: Optional[str] = None,
+    parent_profiles: Optional[Sequence[SwitchingProfile]] = None,
+    parent_instance_budget: Optional[Mapping[str, int]] = None,
 ) -> VerificationResult:
     """Verify that the given applications can safely share one TT slot.
 
-    Convenience wrapper around :class:`ExhaustiveVerifier`.
+    Convenience wrapper around :class:`ExhaustiveVerifier`; pass
+    ``parent_profiles`` (and the budgets they were verified with) to
+    delta-warm-start from the parent configuration's compiled graph.
     """
     verifier = ExhaustiveVerifier(
-        profiles, instance_budget, max_states, engine=engine, graph_dir=graph_dir
+        profiles,
+        instance_budget,
+        max_states,
+        engine=engine,
+        graph_dir=graph_dir,
+        parent_profiles=parent_profiles,
+        parent_instance_budget=parent_instance_budget,
     )
     return verifier.verify(with_counterexample=with_counterexample, minimize=minimize)

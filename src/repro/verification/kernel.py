@@ -48,7 +48,9 @@ in :mod:`repro.verification.engine`).
 
 from __future__ import annotations
 
+import itertools
 import logging
+import os
 from collections.abc import Mapping
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -689,6 +691,8 @@ class CompiledStateGraph:
         "_labels",
         "_parent_ids",
         "_parent_labels",
+        "delta_hints",
+        "delta_stats",
     )
 
     def __init__(self, system) -> None:
@@ -719,6 +723,15 @@ class CompiledStateGraph:
         self._labels = _GrowableRows(np.uint64, store=self.store)
         self._parent_ids = _GrowableRows(np.int32, store=self.store)
         self._parent_labels = _GrowableRows(np.uint64, store=self.store)
+        #: Parent-graph reuse data of a delta warm start
+        #: (:class:`~repro.verification.delta.DeltaHints`), held only while
+        #: compiling and dropped when the graph freezes.
+        self.delta_hints = None
+        #: Row counters of a consumed warm start (``None`` for cold-built
+        #: graphs): how many CSR rows came from the parent graph vs fresh
+        #: expansion, and the parent fingerprint — kept after the hints are
+        #: dropped so callers can report the delta reuse.
+        self.delta_stats: Optional[dict] = None
 
     def close(self) -> None:
         """Release the spill store (memmap handles + files), if any.
@@ -788,9 +801,18 @@ class CompiledStateGraph:
         k = self.expanded_levels
         first, last = self.level_ptr[k], self.level_ptr[k + 1]
         frontier_words = self.table.state_words[first:last]
-        indptr, succ_words, masks, miss, origin = (
-            self.system.successor_tables_words_origin(frontier_words)
-        )
+        expanded = None
+        if self.delta_hints is not None:
+            expanded = self._expand_level_delta(frontier_words)
+            if expanded is None and self.delta_hints is None:
+                logger.warning(
+                    "delta warm start abandoned at level %d (parent rows "
+                    "inconsistent with the masked expansion); cold-compiling",
+                    k,
+                )
+        if expanded is None:
+            expanded = self.system.successor_tables_words_origin(frontier_words)
+        indptr, succ_words, masks, miss, origin = expanded
         self.expanded_levels = k + 1
         if miss.any():
             frontier = self.states_as_ints(first, last)
@@ -829,6 +851,91 @@ class CompiledStateGraph:
             # Keep the RSS near the configured budget: drop the spilled
             # mappings' resident pages once per compiled level.
             self.store.relax()
+
+    def _expand_level_delta(self, frontier_words: np.ndarray):
+        """Delta-reuse expansion of one frontier (warm-started graphs).
+
+        Frontier states that are lifted parent states (see
+        :mod:`repro.verification.delta`) get the successor rows of arrival
+        subsets avoiding the added applications gathered from the parent
+        CSR — already-translated words, bit-remapped labels, never a miss
+        (the parent graph is complete and error-free) — and only the
+        subsets disturbing an added application run through the masked
+        expansion kernel.  The two row groups interleave by enumeration
+        rank, so the produced tables are *identical* to a full expansion
+        and the compiled graph stays byte-for-byte equal to a cold one.
+
+        Returns the ``(indptr, succ_words, masks, miss, origin)`` tuple of
+        :meth:`~repro.scheduler.packed.PackedSlotSystem
+        .successor_tables_words_origin`, or ``None`` when the level has no
+        lifted states (caller expands normally, hints stay) or the parent
+        rows failed the consistency check (hints are dropped, caller
+        cold-compiles).
+        """
+        hints = self.delta_hints
+        system = self.system
+        count = frontier_words.shape[0]
+        parent_ids = hints.lookup(frontier_words)
+        seed = parent_ids >= 0
+        seed_rows = np.flatnonzero(seed)
+        if seed_rows.size == 0:
+            return None
+
+        # One fused kernel pass over the whole frontier: lifted states
+        # expand only their added-app subsets, ordinary states in full.
+        p_succ, p_events, p_origin, p_pos, full_counts = (
+            system.expand_frontier_masked(frontier_words, hints.added_mask, seed)
+        )
+        r_succ, r_labels, r_counts = hints.reused_rows(parent_ids[seed_rows])
+        produced = np.bincount(p_origin, minlength=count)
+        if not np.array_equal(
+            full_counts[seed_rows] - produced[seed_rows], r_counts
+        ):
+            # The parent rows do not tile the child enumeration — the
+            # parent graph does not describe this child after all.  Drop
+            # the hints; the caller redoes this level cold.
+            self.delta_hints = None
+            return None
+
+        indptr = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(full_counts, out=indptr[1:])
+        total = int(indptr[-1])
+        starts = indptr[:-1]
+
+        succ_words = np.empty((total, self.words), dtype=np.uint64)
+        masks = np.empty(total, dtype=np.uint64)
+        miss = np.zeros(total, dtype=bool)
+        origin = np.repeat(np.arange(count, dtype=np.int64), full_counts)
+        taken = np.zeros(total, dtype=bool)
+
+        dest = starts[p_origin] + p_pos
+        succ_words[dest] = p_succ
+        masks[dest] = (
+            p_events >> np.uint64(system._ev_admitted_shift)
+        ) & np.uint64(system.miss_field)
+        miss[dest] = (p_events & np.uint64(system.miss_field)) != 0
+        taken[dest] = True
+
+        # Reused parent rows fill the remaining enumeration slots in
+        # ascending order: the index map is monotone, so the parent CSR
+        # order equals the child enumeration order of its subsets.
+        reused_dest = np.flatnonzero(~taken)
+        succ_words[reused_dest] = r_succ
+        masks[reused_dest] = r_labels
+
+        hints.stats["reused_rows"] += int(r_succ.shape[0])
+        hints.stats["expanded_rows"] += int(total - r_succ.shape[0])
+        return indptr, succ_words, masks, miss, origin
+
+    def _freeze_delta_hints(self) -> None:
+        """Drop the warm-start hints once compilation stops, keeping stats."""
+        hints = self.delta_hints
+        if hints is None:
+            return
+        stats = dict(hints.stats)
+        stats["parent_fingerprint"] = hints.parent_fingerprint
+        self.delta_stats = stats
+        self.delta_hints = None
 
     # -------------------------------------------------------- serialization
     def save(self, path) -> None:
@@ -1006,6 +1113,12 @@ class CompiledStateGraph:
         while True:
             if self.expanded_levels <= k and self.error is None and not self.complete:
                 self._expand_next_level()
+                if self.delta_hints is not None and (
+                    self.complete or self.error is not None
+                ):
+                    # Compilation stopped: the parent-reuse data has served
+                    # its purpose, keep only the counters.
+                    self._freeze_delta_hints()
             levels += 1
             if self.error is not None and self.error_level == k:
                 error = self.error
@@ -1203,6 +1316,18 @@ def compiled_graph_for(system) -> CompiledStateGraph:
 #: directory from a cache).
 GRAPH_DIR_ENV_VAR = "REPRO_GRAPH_DIR"
 
+#: Process-wide counter making concurrent cache writes collision-free: the
+#: pid alone is not unique across threads of one process (two admission
+#: tests saving the same configuration from a thread pool would clobber
+#: each other's temp file mid-write).
+_TEMP_COUNTER = itertools.count()
+
+
+def _temp_cache_path(path: str) -> str:
+    """A collision-free temp name next to a cache ``path`` (same filesystem,
+    so the final ``os.replace`` is atomic)."""
+    return f"{path}.tmp-{os.getpid()}-{next(_TEMP_COUNTER)}"
+
 
 def config_fingerprint(config) -> str:
     """Stable hex digest of everything the packed transition system derives
@@ -1254,8 +1379,6 @@ def load_graph(system, path) -> CompiledStateGraph:
 
 def graph_cache_path(directory: str, config) -> str:
     """Cache filename of a configuration's graph inside a cache directory."""
-    import os
-
     return os.path.join(directory, f"graph-{config_fingerprint(config)}.npz")
 
 
@@ -1266,8 +1389,6 @@ def maybe_load_graph(system, directory: Optional[str]) -> bool:
     stale by CI): a missing, mismatched or corrupt file simply leaves the
     system without a graph.  Returns True when a graph was loaded.
     """
-    import os
-
     if not directory or system.compiled_graph is not None:
         return False
     path = graph_cache_path(directory, system.config)
@@ -1296,12 +1417,14 @@ def maybe_save_graph(system, directory: Optional[str]) -> Optional[str]:
 
     Only complete (or error-stopped) graphs are worth shipping; partial
     graphs are skipped, as are configurations already present in the
-    cache.  The write is atomic (temp file + rename) so concurrent
-    dimensioning workers can share one directory.  Returns the path
-    written, or ``None`` when nothing was saved.
+    cache.  Concurrent dimensioning workers can share one directory: each
+    writer stages into its own collision-free temp file and publishes it
+    with an atomic ``os.replace``, and a configuration already present is
+    skipped without touching the file (readers never observe a partial
+    graph, and the last finisher of a race simply replaces an identical
+    cache entry).  Returns the path written, or ``None`` when nothing was
+    saved.
     """
-    import os
-
     graph = system.compiled_graph
     if (
         not directory
@@ -1312,7 +1435,7 @@ def maybe_save_graph(system, directory: Optional[str]) -> Optional[str]:
     path = graph_cache_path(directory, system.config)
     if os.path.exists(path):
         return None
-    temp_path = f"{path}.tmp-{os.getpid()}"
+    temp_path = _temp_cache_path(path)
     try:
         os.makedirs(directory, exist_ok=True)
         with open(temp_path, "wb") as handle:

@@ -53,6 +53,19 @@ class VerificationResult:
             the accelerated model (empty when unbounded).
         truncated: True when the exploration hit its state budget before
             finishing; the verdict is then only valid for the explored part.
+        count_semantics: how ``explored_states`` is counted on *infeasible*
+            (or truncated) runs.  All exploration engines visit the same
+            breadth-first level structure, so on feasible complete runs the
+            count is engine-independent; they differ in when *inside* a
+            level they stop.  ``"level-synchronous"`` — the canonical
+            semantics of the compiled-kernel, sharded and vectorized
+            engines (and hence of ``engine="auto"`` on packed sources):
+            the level that found the error is counted in full, making the
+            number deterministic regardless of worker interleaving.
+            ``"discovery-order"`` — the sequential reference engine stops
+            at the first error transition in discovery order, so its count
+            on infeasible runs can be smaller.  Verdict, witness depth and
+            feasible-run counts never depend on this.
     """
 
     feasible: bool
@@ -63,6 +76,7 @@ class VerificationResult:
     counterexample: Tuple[CounterexampleStep, ...] = ()
     instance_budget: Tuple[Tuple[str, int], ...] = ()
     truncated: bool = False
+    count_semantics: str = "level-synchronous"
 
     def __bool__(self) -> bool:
         return self.feasible

@@ -1,0 +1,306 @@
+"""Delta warm-start tests: parent-seeded compiles must equal cold compiles.
+
+The contract of :mod:`repro.verification.delta` is *byte identity*: a child
+graph warm-started from a parent configuration's compiled graph must be
+id-for-id indistinguishable from a cold compile — same interned state rows
+in the same order, same level boundaries, same CSR arrays, same BFS-tree
+links, same verdict and witness.  The fuzz harness below asserts exactly
+that across randomized add/remove/reassign neighbor chains, including the
+fallback-triggering broad diffs and multi-word (> 64 bit) states; the
+focused tests pin the config diff classification, the lineage sidecar, the
+``kernel+delta`` method tag and the count-semantics normalization.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.casestudy import paper_profiles
+from repro.scheduler.packed import PackedSlotSystem, clear_packed_caches, packed_system_for
+from repro.scheduler.slot_system import SlotSystemConfig
+from repro.switching.profile import SwitchingProfile
+from repro.verification import instance_budgets, verify_slot_sharing
+from repro.verification.delta import (
+    DELTA_ENV_VAR,
+    MAX_ADDED_APPS,
+    config_delta,
+    maybe_warm_start_graph,
+    translate_states,
+    warm_start_graph,
+)
+from repro.verification.kernel import (
+    CompiledStateGraph,
+    config_fingerprint,
+    graph_cache_path,
+)
+
+CAP = 500_000
+
+
+# --------------------------------------------------------------------- helpers
+def _random_profile(rng: random.Random, name: str) -> SwitchingProfile:
+    """A tiny random profile (state spaces stay in the low thousands)."""
+    max_wait = rng.randint(0, 2)
+    min_dwell = [rng.randint(1, 3) for _ in range(max_wait + 1)]
+    max_dwell = [lo + rng.randint(0, 2) for lo in min_dwell]
+    return SwitchingProfile.from_arrays(
+        name=name,
+        requirement_samples=rng.randint(2, 5),
+        min_inter_arrival=rng.randint(6, 10),
+        min_dwell=min_dwell,
+        max_dwell=max_dwell,
+    )
+
+
+def _cold_graph(config: SlotSystemConfig) -> CompiledStateGraph:
+    """Cold-compile a fresh system (never the shared memoized one)."""
+    graph = CompiledStateGraph(PackedSlotSystem(config))
+    graph.explore(CAP, True)
+    return graph
+
+
+def _assert_identical(cold: CompiledStateGraph, warm: CompiledStateGraph) -> None:
+    """Assert the two compiled graphs are id-for-id identical."""
+    assert warm.complete == cold.complete
+    assert warm.error == cold.error
+    assert warm.error_level == cold.error_level
+    assert warm.level_ptr == cold.level_ptr
+    assert warm.state_count == cold.state_count
+    count = cold.state_count
+    assert np.array_equal(
+        np.asarray(warm.table.state_words)[:count],
+        np.asarray(cold.table.state_words)[:count],
+    )
+    for name in ("indptr", "successor_ids", "labels", "parent_ids", "parent_labels"):
+        assert np.array_equal(
+            np.asarray(getattr(warm, name)), np.asarray(getattr(cold, name))
+        ), name
+
+
+def _config(profiles, budgets=True) -> SlotSystemConfig:
+    budget = instance_budgets(profiles) if budgets else None
+    return SlotSystemConfig.from_profiles(profiles, budget)
+
+
+# ---------------------------------------------------------------- fuzz harness
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("budgets", [False, True], ids=["unbounded", "budgeted"])
+def test_fuzz_neighbor_chains_byte_identical(seed, budgets):
+    """Randomized add/remove/reassign chains: warm == cold, id for id.
+
+    Every consecutive (parent, child) pair of the chain is compiled twice —
+    cold on a fresh system, and warm-started from the parent's cold graph
+    where the preconditions admit it.  Warm-started compiles must be byte
+    identical; non-warm-startable diffs (removals, changed budgets, broad
+    adds) must fall back cleanly (``warm_start_graph`` returns ``None``).
+    """
+    rng = random.Random(0xD317A + seed)
+    pool = [_random_profile(rng, f"P{index}") for index in range(6)]
+    current = [pool[0]]
+    warm_runs = 0
+    for _ in range(5):
+        unused = [profile for profile in pool if profile not in current]
+        ops = []
+        if unused:
+            ops.append("add")
+        if len(unused) >= MAX_ADDED_APPS + 1:
+            ops.append("add_broad")
+        if len(current) >= 2:
+            ops.append("remove")
+        if len(current) >= 2 and unused:
+            ops.append("reassign")
+        op = rng.choice(ops)
+        if op == "add":
+            child = current + rng.sample(unused, rng.randint(1, min(2, len(unused))))
+        elif op == "add_broad":
+            child = current + rng.sample(unused, MAX_ADDED_APPS + 1)
+        elif op == "remove":
+            child = [p for p in current if p is not rng.choice(current)]
+        else:  # reassign: swap one member for an unused profile
+            child = [p for p in current if p is not rng.choice(current)]
+            child.append(rng.choice(unused))
+        parent_config = _config(current, budgets)
+        child_config = _config(child, budgets)
+
+        parent_graph = _cold_graph(parent_config)
+        cold = _cold_graph(child_config)
+        child_system = PackedSlotSystem(child_config)
+        warm = warm_start_graph(parent_graph, child_system)
+
+        delta = config_delta(parent_config, child_config)
+        if delta.removed or delta.changed or len(delta.added) > MAX_ADDED_APPS:
+            assert not delta.warm_startable
+        eligible = (
+            delta.warm_startable
+            and parent_graph.complete
+            and parent_graph.error is None
+            and child_system.can_expand_frontier
+        )
+        assert (warm is not None) == eligible
+        if warm is not None:
+            warm.explore(CAP, True)
+            _assert_identical(cold, warm)
+            assert warm.delta_stats is not None
+            assert warm.delta_stats["seed_states"] == parent_graph.state_count
+            # The counters cover delta-expanded levels only (seed-free
+            # levels run the plain cold kernel, error levels stop before
+            # compiling), so they bound rather than equal the CSR size.
+            assert warm.delta_stats["reused_rows"] >= 0
+            assert warm.delta_stats["expanded_rows"] >= 0
+            warm_runs += 1
+        current = child
+    # Warm-path coverage is guaranteed by the deterministic tests below;
+    # a chain of infeasible random parents may legitimately never warm.
+    assert warm_runs >= 0
+
+
+def test_multi_word_case_study_chain_byte_identical():
+    """The 4-app case-study child packs into 2 words; warm == cold there too."""
+    profiles = paper_profiles()
+    parent = [profiles[name] for name in ("C1", "C5", "C4")]
+    child = [profiles[name] for name in ("C1", "C5", "C4", "C3")]
+    parent_config = _config(parent)
+    child_config = _config(child)
+    assert PackedSlotSystem(child_config).packed_words == 2
+
+    parent_graph = _cold_graph(parent_config)
+    cold = _cold_graph(child_config)
+    warm = warm_start_graph(parent_graph, PackedSlotSystem(child_config))
+    assert warm is not None
+    warm.explore(CAP, True)
+    _assert_identical(cold, warm)
+    assert warm.delta_stats["reused_rows"] > 0
+
+
+# ------------------------------------------------------------------ config diff
+class TestConfigDelta:
+    def test_classification(self, small_profile, second_small_profile):
+        third = SwitchingProfile.from_arrays("C", 8, 16, [2, 2], [3, 3])
+        parent = SlotSystemConfig.from_profiles([small_profile, second_small_profile])
+        child = SlotSystemConfig.from_profiles([small_profile, third])
+        delta = config_delta(parent, child)
+        assert delta.shared == ((0, 0),)  # "A" keeps index 0 in both
+        assert delta.added == (1,)  # "C"
+        assert delta.removed == (1,)  # "B"
+        assert not delta.warm_startable
+
+    def test_pure_extension_is_warm_startable(
+        self, small_profile, second_small_profile
+    ):
+        parent = SlotSystemConfig.from_profiles([small_profile])
+        child = SlotSystemConfig.from_profiles([small_profile, second_small_profile])
+        delta = config_delta(parent, child)
+        assert delta.shared == ((0, 0),)
+        assert delta.added == (1,)
+        assert delta.warm_startable
+
+    def test_budget_change_blocks_warm_start(
+        self, small_profile, second_small_profile
+    ):
+        parent = SlotSystemConfig.from_profiles(
+            [small_profile, second_small_profile], {"A": 1, "B": 1}
+        )
+        child = SlotSystemConfig.from_profiles(
+            [small_profile, second_small_profile], {"A": 2, "B": 1}
+        )
+        delta = config_delta(parent, child)
+        assert delta.changed == (0,)
+        assert delta.shared == ((1, 1),)
+        assert not delta.warm_startable
+
+    def test_translate_preserves_initial_state(
+        self, small_profile, second_small_profile
+    ):
+        parent_system = PackedSlotSystem(SlotSystemConfig.from_profiles([small_profile]))
+        child_system = PackedSlotSystem(
+            SlotSystemConfig.from_profiles([small_profile, second_small_profile])
+        )
+        rows = parent_system.pack_words([parent_system.initial])
+        lifted = translate_states(parent_system, child_system, ((0, 0),), rows)
+        assert np.array_equal(lifted, child_system.pack_words([child_system.initial]))
+
+
+# --------------------------------------------------------------- verifier wiring
+class TestVerifierIntegration:
+    def test_kernel_delta_method_tag(self, small_profile, second_small_profile):
+        verify_slot_sharing([small_profile], engine="kernel")
+        result = verify_slot_sharing(
+            [small_profile, second_small_profile],
+            parent_profiles=[small_profile],
+        )
+        clear_packed_caches()  # baseline cold-compiles from scratch
+        baseline = verify_slot_sharing([small_profile, second_small_profile])
+        assert result.method == "exhaustive[kernel+delta]"
+        assert result.feasible == baseline.feasible
+        assert result.explored_states == baseline.explored_states
+
+    def test_env_kill_switch_disables_warm_start(
+        self, monkeypatch, small_profile, second_small_profile
+    ):
+        monkeypatch.setenv(DELTA_ENV_VAR, "0")
+        verify_slot_sharing([small_profile], engine="kernel")
+        result = verify_slot_sharing(
+            [small_profile, second_small_profile],
+            parent_profiles=[small_profile],
+        )
+        assert "delta" not in result.method
+
+    def test_cold_parent_means_cold_compile(self, small_profile, second_small_profile):
+        # No parent graph was ever compiled: warm start must no-op.
+        result = verify_slot_sharing(
+            [small_profile, second_small_profile],
+            parent_profiles=[small_profile],
+        )
+        assert "delta" not in result.method
+        assert result.feasible
+
+    def test_lineage_sidecar_and_cross_process_warm_start(
+        self, tmp_path, small_profile, second_small_profile
+    ):
+        graph_dir = str(tmp_path)
+        parent_config = SlotSystemConfig.from_profiles([small_profile])
+        child_config = SlotSystemConfig.from_profiles(
+            [small_profile, second_small_profile]
+        )
+        verify_slot_sharing([small_profile], engine="kernel", graph_dir=graph_dir)
+        # A "new process": the in-memory systems (and their graphs) are gone,
+        # only the cache directory survives.
+        clear_packed_caches()
+        result = verify_slot_sharing(
+            [small_profile, second_small_profile],
+            parent_profiles=[small_profile],
+            graph_dir=graph_dir,
+        )
+        assert result.method == "exhaustive[kernel+delta]"
+        sidecar = graph_cache_path(graph_dir, child_config) + ".parent"
+        with open(sidecar, encoding="utf-8") as handle:
+            assert handle.read().strip() == config_fingerprint(parent_config)
+
+    def test_maybe_warm_start_requires_parent_graph(
+        self, small_profile, second_small_profile
+    ):
+        child_system = packed_system_for(
+            SlotSystemConfig.from_profiles([small_profile, second_small_profile])
+        )
+        parent_config = SlotSystemConfig.from_profiles([small_profile])
+        assert not maybe_warm_start_graph(child_system, parent_config)
+
+
+# ------------------------------------------------------------- count semantics
+class TestCountSemantics:
+    def test_engines_report_their_semantics(self, small_profile, second_small_profile):
+        sequential = verify_slot_sharing(
+            [small_profile, second_small_profile], engine="sequential"
+        )
+        kernel = verify_slot_sharing(
+            [small_profile, second_small_profile], engine="kernel"
+        )
+        auto = verify_slot_sharing([small_profile, second_small_profile])
+        assert sequential.count_semantics == "discovery-order"
+        assert kernel.count_semantics == "level-synchronous"
+        assert auto.count_semantics == "level-synchronous"
+        # Feasible complete runs agree on the count regardless of semantics.
+        assert sequential.explored_states == kernel.explored_states

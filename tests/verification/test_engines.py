@@ -384,9 +384,20 @@ class TestEngineSelection:
         with pytest.raises(VerificationError):
             ModelChecker(network, engine="vectorized").error_reachable(with_trace=False)
 
-    def test_auto_picks_sequential_for_small_products(self, small_profile):
+    def test_auto_compiles_kernel_graph_for_packed_sources(self, small_profile):
+        # "auto" defaults packed sources to the compiled kernel: the first
+        # exploration compiles the graph, later runs (and delta warm
+        # starts) replay it.
         config = SlotSystemConfig.from_profiles((small_profile,))
         source = PackedStateSource(PackedSlotSystem(config))
+        assert isinstance(resolve_engine("auto", source=source), CompiledKernelEngine)
+
+    def test_auto_picks_sequential_when_kernel_unavailable(self, small_profile):
+        config = SlotSystemConfig.from_profiles((small_profile,))
+        system = PackedSlotSystem(config)
+        expander = system._frontier_expander()
+        expander.ok = False  # simulate a configuration too wide for the kernel
+        source = PackedStateSource(system)
         assert isinstance(resolve_engine("auto", source=source), SequentialPackedEngine)
 
     def test_estimated_state_count_orders_configurations(

@@ -334,3 +334,47 @@ class TestGraphDirectoryFlow:
         assert outcome.slot_count >= 1
         # Every completed admission verification shipped its graph.
         assert any(name.endswith(".npz") for name in os.listdir(tmp_path))
+
+
+class TestConcurrentCacheWrites:
+    def test_temp_names_are_collision_free_across_threads(self, tmp_path):
+        """The staging name must differ per call even within one process:
+        a pid-only suffix would let two threads saving the same
+        configuration clobber each other's half-written temp file."""
+        from repro.verification.kernel import _temp_cache_path
+
+        path = str(tmp_path / "graph-abc.npz")
+        names = {_temp_cache_path(path) for _ in range(64)}
+        assert len(names) == 64
+
+    def test_racing_savers_leave_a_loadable_cache(
+        self, tmp_path, small_profile, second_small_profile
+    ):
+        """Many threads saving the same configuration concurrently: the
+        published cache entry must always be a complete, loadable graph
+        (each save stages privately, then atomically replaces)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        config = _pair_config(small_profile, second_small_profile)
+
+        def compile_one(_index):
+            system = PackedSlotSystem(config)
+            system.compiled_graph = CompiledStateGraph(system)
+            system.compiled_graph.explore(5_000_000, False)
+            return system
+
+        systems = [compile_one(index) for index in range(4)]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            paths = list(
+                pool.map(lambda system: maybe_save_graph(system, str(tmp_path)), systems)
+            )
+        # skip-if-exists means not every saver wrote, but at least one did,
+        # no temp litter survives, and the entry round-trips.
+        assert any(path is not None for path in paths)
+        assert sorted(os.listdir(tmp_path)) == [
+            os.path.basename(graph_cache_path(str(tmp_path), config))
+        ]
+        fresh = PackedSlotSystem(config)
+        assert maybe_load_graph(fresh, str(tmp_path))
+        assert fresh.compiled_graph.complete
+        assert fresh.compiled_graph.state_count == systems[0].compiled_graph.state_count

@@ -325,24 +325,27 @@ class TestCompiledStateGraph:
         config = SlotSystemConfig.from_profiles((small_profile,))
         source = PackedStateSource(packed_system_for(config))
         cap = 5_000_000
-        assert isinstance(
-            resolve_engine("auto", source=source, max_states=cap),
-            SequentialPackedEngine,
-        )
-        CompiledKernelEngine().explore(source, max_states=cap)
-        graph = source.system.compiled_graph
-        assert graph.complete
+        # Expandable packed sources compile on the kernel engine from the
+        # very first "auto" run (count semantics are level-synchronous)...
         assert isinstance(
             resolve_engine("auto", source=source, max_states=cap),
             CompiledKernelEngine,
         )
-        # The upgrade never engages when the replay could not mirror the
-        # sequential outcome exactly: unknown or graph-truncating caps keep
-        # "auto" history-independent.
-        assert isinstance(resolve_engine("auto", source=source), SequentialPackedEngine)
+        CompiledKernelEngine().explore(source, max_states=cap)
+        graph = source.system.compiled_graph
+        assert graph.complete
+        # ... and replay the frozen graph on every later run, with or
+        # without a cap (truncation is a deterministic id prefix).
+        assert isinstance(
+            resolve_engine("auto", source=source, max_states=cap),
+            CompiledKernelEngine,
+        )
+        assert isinstance(
+            resolve_engine("auto", source=source), CompiledKernelEngine
+        )
         assert isinstance(
             resolve_engine("auto", source=source, max_states=graph.state_count),
-            SequentialPackedEngine,
+            CompiledKernelEngine,
         )
 
     def test_error_graph_replays_same_witness(
