@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Query a running verification service.
+
+Thin CLI over :class:`repro.service.ServiceClient`.  Profiles come from
+the paper's case study (``--apps C1 C5``) or from a JSON file holding a
+list of :meth:`SwitchingProfile.to_dict` objects (``--profiles FILE``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/repro_query.py ping
+    PYTHONPATH=src python scripts/repro_query.py verify --apps C1 C5 C4 C3
+    PYTHONPATH=src python scripts/repro_query.py admit --apps C6 C2
+    PYTHONPATH=src python scripts/repro_query.py counterexample --apps C1 C2 C3
+    PYTHONPATH=src python scripts/repro_query.py first-fit --apps C1 C2 C3 C4 C5 C6
+    PYTHONPATH=src python scripts/repro_query.py stats
+    PYTHONPATH=src python scripts/repro_query.py shutdown
+
+The socket defaults to ``$REPRO_SERVICE_SOCKET`` (``--socket`` wins).
+Responses print as JSON on stdout; ``admit`` additionally exits non-zero
+when the configuration is rejected, so shell scripts can branch on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def _load_profiles(args):
+    from repro.casestudy import paper_profiles
+    from repro.switching.profile import SwitchingProfile
+
+    if args.profiles:
+        with open(args.profiles, encoding="utf-8") as handle:
+            data = json.load(handle)
+        return [SwitchingProfile.from_dict(entry) for entry in data]
+    if args.apps:
+        table = paper_profiles()
+        missing = [name for name in args.apps if name not in table]
+        if missing:
+            raise SystemExit(f"unknown case-study applications: {missing}")
+        return [table[name] for name in args.apps]
+    raise SystemExit("give --apps NAMES or --profiles FILE")
+
+
+def _result_json(result):
+    from repro.service import result_to_wire
+
+    return result_to_wire(result, with_counterexample=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--socket", default=None, help="server socket path")
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="per-response timeout (s)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_profile_args(sub):
+        sub.add_argument("--apps", nargs="+", help="case-study application names")
+        sub.add_argument("--profiles", help="JSON file with profile objects")
+        sub.add_argument(
+            "--no-acceleration",
+            action="store_true",
+            help="verify without the paper's instance budgets",
+        )
+        sub.add_argument("--max-states", type=int, default=None)
+
+    commands.add_parser("ping")
+    commands.add_parser("stats")
+    commands.add_parser("shutdown")
+    verify = commands.add_parser("verify")
+    add_profile_args(verify)
+    verify.add_argument("--counterexample", action="store_true")
+    admit = commands.add_parser("admit")
+    add_profile_args(admit)
+    counterexample = commands.add_parser("counterexample")
+    add_profile_args(counterexample)
+    first_fit = commands.add_parser("first-fit")
+    first_fit.add_argument("--apps", nargs="+", help="case-study application names")
+    first_fit.add_argument("--profiles", help="JSON file with profile objects")
+    first_fit.add_argument("--order", nargs="+", help="explicit consideration order")
+    args = parser.parse_args()
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.socket, timeout=args.timeout) as client:
+        if args.command == "ping":
+            print(json.dumps({"pong": client.ping()}))
+            return 0
+        if args.command == "stats":
+            response = client.stats()
+            response.pop("ok", None)
+            print(json.dumps(response, indent=2))
+            return 0
+        if args.command == "shutdown":
+            client.shutdown()
+            print(json.dumps({"stopping": True}))
+            return 0
+        if args.command == "first-fit":
+            profiles = _load_profiles(args)
+            response = client.first_fit(profiles, order=args.order)
+            response.pop("ok", None)
+            print(json.dumps(response, indent=2))
+            return 0
+
+        profiles = _load_profiles(args)
+        kwargs = {
+            "use_acceleration": not args.no_acceleration,
+            "max_states": args.max_states,
+        }
+        if args.command == "admit":
+            admitted = client.admit(profiles, **kwargs)
+            print(json.dumps({"admitted": admitted}))
+            return 0 if admitted else 1
+        if args.command == "counterexample":
+            result = client.counterexample(profiles, **kwargs)
+        else:
+            result = client.verify(
+                profiles,
+                with_counterexample=args.counterexample,
+                **kwargs,
+            )
+        print(json.dumps(_result_json(result), indent=2))
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,9 @@ The package implements the paper's complete flow on a simulated substrate:
   transition system, the trace simulator and the baseline analysis of [9];
 * :mod:`repro.dimensioning` — first-fit slot dimensioning with
   verification-backed admission;
+* :mod:`repro.service` — the long-running verification server (batched
+  admission queries over a Unix socket, content-addressed graph store,
+  single-flight cold compiles) and its client;
 * :mod:`repro.casestudy` — the DAC'19 case study (six applications);
 * :mod:`repro.analysis` — pipelines regenerating every figure and table of
   the paper's evaluation;
@@ -36,6 +39,7 @@ from .exceptions import (
     ProfileError,
     ReproError,
     SchedulingError,
+    ServiceError,
     SimulationError,
     StabilityError,
     VerificationError,
@@ -59,4 +63,5 @@ __all__ = [
     "ModelError",
     "ConfigurationError",
     "MappingError",
+    "ServiceError",
 ]

@@ -163,6 +163,11 @@ def default_admission_test(
     revalidation per admission trial, with byte-identical verdicts.
     """
     verdicts: Dict[Tuple[SwitchingProfile, ...], bool] = {}
+    # A first-fit sweep probes one slot's current contents against many
+    # candidates in a row; the parent's instance budgets (an O(parent)
+    # interference-horizon computation) are identical across those trials,
+    # so memoize them per parent profile set alongside the verdict memo.
+    parent_budgets: Dict[Tuple[SwitchingProfile, ...], Optional[Mapping[str, int]]] = {}
 
     def admit(
         profiles: Sequence[SwitchingProfile],
@@ -177,10 +182,13 @@ def default_admission_test(
         if max_states is not None:
             kwargs["max_states"] = max_states
         if parent:
+            parent_key = tuple(sorted(parent, key=lambda profile: profile.name))
+            if parent_key not in parent_budgets:
+                parent_budgets[parent_key] = (
+                    instance_budgets(parent_key) if use_acceleration else None
+                )
             kwargs["parent_profiles"] = tuple(parent)
-            kwargs["parent_instance_budget"] = (
-                instance_budgets(parent) if use_acceleration else None
-            )
+            kwargs["parent_instance_budget"] = parent_budgets[parent_key]
         result: VerificationResult = verify_slot_sharing(
             profiles,
             instance_budget=budget,

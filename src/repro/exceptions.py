@@ -50,3 +50,7 @@ class ConfigurationError(ReproError):
 
 class MappingError(ReproError):
     """Resource dimensioning could not produce a feasible mapping."""
+
+
+class ServiceError(ReproError):
+    """The verification service rejected a request or the transport failed."""

@@ -1,0 +1,51 @@
+"""Verification as a service: the batched admission server and its client.
+
+The one-shot scripts of PRs 1–6 pay the full Python startup plus a cold
+compile for every query; a dimensioning campaign or a multi-user design
+flow wants the opposite shape — a long-running server whose hot path
+replays pre-built artifacts in microseconds and whose cold path is pooled,
+deduplicated background work:
+
+* :class:`~repro.service.server.VerificationService` — asyncio Unix-socket
+  server speaking the JSON-lines protocol of
+  :mod:`repro.service.protocol`: verify / admit / counterexample /
+  first-fit / batch / stats over one socket.  Fingerprint hits replay the
+  frozen compiled graph inline; misses single-flight onto a fork-context
+  worker pool and publish into the content-addressed
+  :class:`~repro.verification.store.GraphStore`.
+* :class:`~repro.service.client.ServiceClient` — blocking client used by
+  the CLI (``scripts/repro_query.py``), the load generator
+  (``scripts/service_loadgen.py``) and as a drop-in first-fit admission
+  test (:meth:`~repro.service.client.ServiceClient.admission_test`).
+
+Start a server with ``python scripts/repro_serve.py --socket /tmp/repro.sock``
+and query it with ``python scripts/repro_query.py`` (see the README's
+"Running the verification service" section).
+"""
+
+from .client import ServiceClient
+from .protocol import (
+    SOCKET_ENV_VAR,
+    budget_from_wire,
+    decode_message,
+    encode_message,
+    profiles_from_wire,
+    profiles_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+from .server import DEFAULT_STORE_DIR, VerificationService
+
+__all__ = [
+    "ServiceClient",
+    "VerificationService",
+    "SOCKET_ENV_VAR",
+    "DEFAULT_STORE_DIR",
+    "encode_message",
+    "decode_message",
+    "budget_from_wire",
+    "profiles_to_wire",
+    "profiles_from_wire",
+    "result_to_wire",
+    "result_from_wire",
+]

@@ -1,0 +1,269 @@
+"""Synchronous client of the verification service.
+
+A thin blocking wrapper over the JSON-lines Unix-socket protocol
+(:mod:`repro.service.protocol`): one request per call, responses matched by
+``id``.  The client is what the CLI (``scripts/repro_query.py``), the
+load generator and the service test suite speak; it also adapts the server
+into a first-fit admission test (:meth:`ServiceClient.admission_test`), so
+a dimensioner running in one process can verify against a shared server —
+and its shared graph store — in another.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..exceptions import ServiceError
+from ..switching.profile import SwitchingProfile
+from ..verification.result import VerificationResult
+from .protocol import (
+    SOCKET_ENV_VAR,
+    decode_message,
+    encode_message,
+    profiles_to_wire,
+    result_from_wire,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking JSON-lines client of a :class:`~repro.service.server
+    .VerificationService`.
+
+    Args:
+        socket_path: server socket; defaults to ``REPRO_SERVICE_SOCKET``.
+        timeout: per-response socket timeout in seconds.  Cold compiles run
+            server-side for up to this long from the client's perspective —
+            keep it comfortably above the largest expected compile.
+    """
+
+    def __init__(
+        self, socket_path: Optional[str] = None, timeout: float = 300.0
+    ) -> None:
+        socket_path = socket_path or os.environ.get(SOCKET_ENV_VAR)
+        if not socket_path:
+            raise ServiceError(
+                f"no socket path given and {SOCKET_ENV_VAR} is not set"
+            )
+        self.socket_path = str(socket_path)
+        self.timeout = float(timeout)
+        self._socket: Optional[socket.socket] = None
+        self._reader = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------- transport
+    def connect(self) -> "ServiceClient":
+        """Open the connection (idempotent; requests auto-connect)."""
+        if self._socket is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as error:
+                sock.close()
+                raise ServiceError(
+                    f"cannot reach verification service at {self.socket_path}: {error}"
+                ) from error
+            self._socket = sock
+            self._reader = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+            self._socket = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def request(self, operation: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and return the (``ok``-checked) response."""
+        self.connect()
+        assert self._socket is not None and self._reader is not None
+        request_id = next(self._ids)
+        message = {"id": request_id, "op": operation}
+        message.update(fields)
+        try:
+            self._socket.sendall(encode_message(message))
+            line = self._reader.readline()
+        except OSError as error:
+            self.close()
+            raise ServiceError(f"service transport failed: {error}") from error
+        if not line:
+            self.close()
+            raise ServiceError("service closed the connection")
+        response = decode_message(line)
+        if response.get("id") not in (None, request_id):
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match request "
+                f"{request_id!r}"
+            )
+        if not response.get("ok"):
+            raise ServiceError(response.get("error") or "request failed")
+        return response
+
+    # ------------------------------------------------------------ operations
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self.request("ping").get("pong"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Server counters and graph-store summary."""
+        return self.request("stats")
+
+    def shutdown(self) -> None:
+        """Ask the server to stop."""
+        self.request("shutdown")
+
+    def verify(
+        self,
+        profiles: Sequence[SwitchingProfile],
+        use_acceleration: bool = True,
+        instance_budget: Optional[Mapping[str, int]] = None,
+        max_states: Optional[int] = None,
+        with_counterexample: bool = False,
+        minimize: bool = False,
+        parent_profiles: Optional[Sequence[SwitchingProfile]] = None,
+    ) -> VerificationResult:
+        """Verify one slot configuration; returns the usual result object."""
+        response = self.request(
+            "verify",
+            **self._verify_fields(
+                profiles,
+                use_acceleration,
+                instance_budget,
+                max_states,
+                parent_profiles,
+            ),
+            with_counterexample=with_counterexample,
+            minimize=minimize,
+        )
+        return result_from_wire(response["result"])
+
+    def admit(
+        self,
+        profiles: Sequence[SwitchingProfile],
+        use_acceleration: bool = True,
+        instance_budget: Optional[Mapping[str, int]] = None,
+        max_states: Optional[int] = None,
+        parent_profiles: Optional[Sequence[SwitchingProfile]] = None,
+    ) -> bool:
+        """Admission test: may these profiles share one TT slot?"""
+        response = self.request(
+            "admit",
+            **self._verify_fields(
+                profiles,
+                use_acceleration,
+                instance_budget,
+                max_states,
+                parent_profiles,
+            ),
+        )
+        if response.get("truncated"):
+            raise ServiceError(
+                "verification truncated before completion; raise max_states"
+            )
+        return bool(response["admitted"])
+
+    def counterexample(
+        self,
+        profiles: Sequence[SwitchingProfile],
+        use_acceleration: bool = True,
+        instance_budget: Optional[Mapping[str, int]] = None,
+        max_states: Optional[int] = None,
+        minimize: bool = True,
+    ) -> VerificationResult:
+        """Verify with the witness trace always requested."""
+        response = self.request(
+            "counterexample",
+            **self._verify_fields(
+                profiles, use_acceleration, instance_budget, max_states, None
+            ),
+            minimize=minimize,
+        )
+        return result_from_wire(response["result"])
+
+    def first_fit(
+        self,
+        profiles: Sequence[SwitchingProfile],
+        order: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """Dimension a full application set server-side."""
+        fields: Dict[str, Any] = {"profiles": profiles_to_wire(profiles)}
+        if order is not None:
+            fields["order"] = list(order)
+        return self.request("first_fit", **fields)
+
+    def batch(self, requests: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Run sub-requests concurrently server-side; responses in order."""
+        return list(self.request("batch", requests=requests)["responses"])
+
+    # ------------------------------------------------------------ adaptation
+    def admission_test(
+        self,
+        use_acceleration: bool = True,
+        max_states: Optional[int] = None,
+    ):
+        """An admission-test callable backed by this client.
+
+        The returned callable has the ``(profiles, parent=None)`` shape the
+        first-fit dimensioner sniffs for, so
+        ``FirstFitDimensioner(profiles, admission_test=client.admission_test())``
+        verifies every trial against the server (and its shared store) —
+        parent-aware, so cold compiles delta-warm-start server-side.
+        """
+
+        def admit(
+            profiles: Sequence[SwitchingProfile],
+            parent: Optional[Sequence[SwitchingProfile]] = None,
+        ) -> bool:
+            return self.admit(
+                profiles,
+                use_acceleration=use_acceleration,
+                max_states=max_states,
+                parent_profiles=parent,
+            )
+
+        return admit
+
+    # -------------------------------------------------------------- internal
+    @staticmethod
+    def _verify_fields(
+        profiles: Sequence[SwitchingProfile],
+        use_acceleration: bool,
+        instance_budget: Optional[Mapping[str, int]],
+        max_states: Optional[int],
+        parent_profiles: Optional[Sequence[SwitchingProfile]],
+    ) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "profiles": profiles_to_wire(profiles),
+            "use_acceleration": bool(use_acceleration),
+        }
+        if instance_budget is not None:
+            fields["instance_budget"] = dict(instance_budget)
+        if max_states is not None:
+            fields["max_states"] = int(max_states)
+        if parent_profiles:
+            fields["parent_profiles"] = profiles_to_wire(parent_profiles)
+            if use_acceleration:
+                from ..verification.acceleration import instance_budgets
+
+                fields["parent_instance_budget"] = instance_budgets(parent_profiles)
+        return fields

@@ -90,6 +90,7 @@ from .kernel import (
     save_graph,
 )
 from .result import CounterexampleStep, VerificationResult, replay_counterexample
+from .store import STORE_BYTES_ENV_VAR, GraphStore, GraphStoreClaim, store_for
 
 __all__ = [
     "VerificationResult",
@@ -132,4 +133,8 @@ __all__ = [
     "warm_start_graph",
     "maybe_warm_start_graph",
     "DELTA_ENV_VAR",
+    "GraphStore",
+    "GraphStoreClaim",
+    "store_for",
+    "STORE_BYTES_ENV_VAR",
 ]

@@ -47,8 +47,13 @@ from ..scheduler.packed import packed_system_for
 from ..scheduler.slot_system import SlotSystemConfig
 from ..switching.profile import SwitchingProfile
 from .delta import maybe_warm_start_graph
-from .engine import PackedStateSource, resolve_engine
-from .kernel import GRAPH_DIR_ENV_VAR, maybe_load_graph, maybe_save_graph
+from .engine import CompiledKernelEngine, PackedStateSource, resolve_engine
+from .kernel import (
+    GRAPH_DIR_ENV_VAR,
+    config_fingerprint,
+    maybe_load_graph,
+    maybe_save_graph,
+)
 from .result import CounterexampleStep, VerificationResult, replay_counterexample
 
 #: Default cap on the number of explored states before giving up.
@@ -144,15 +149,22 @@ class ExhaustiveVerifier:
         start_time = time.perf_counter()
         source = PackedStateSource(self.packed)
         engine = resolve_engine(self.engine, source=source, max_states=self.max_states)
-        outcome = engine.explore(
-            source, max_states=self.max_states, with_parents=with_counterexample
-        )
+        claim = self._compile_claim(engine)
+        try:
+            outcome = engine.explore(
+                source, max_states=self.max_states, with_parents=with_counterexample
+            )
 
-        elapsed = time.perf_counter() - start_time
-        if self.graph_dir:
-            # Ship a freshly completed compiled graph (kernel / auto runs)
-            # to the cache directory for other processes and CI jobs.
-            maybe_save_graph(self.packed, self.graph_dir)
+            elapsed = time.perf_counter() - start_time
+            if self.graph_dir:
+                # Ship a freshly completed compiled graph (kernel / auto
+                # runs) to the cache directory for other processes and CI
+                # jobs — before releasing the compile claim, so waiters
+                # observing the claim vanish find the entry published.
+                maybe_save_graph(self.packed, self.graph_dir)
+        finally:
+            if claim is not None:
+                claim.release()
         feasible = outcome.feasible
         counterexample: Tuple[CounterexampleStep, ...] = ()
         if not feasible and outcome.parents is not None:
@@ -202,6 +214,50 @@ class ExhaustiveVerifier:
         return result.minimize() if minimize else result
 
     # ------------------------------------------------------------- internals
+    def _compile_claim(self, engine):
+        """Cross-process single-flight for cold compiles through the store.
+
+        Two processes cold-compiling the same fingerprint concurrently
+        duplicate hundreds of milliseconds of work; the graph store's
+        lockfile claims serialize them.  Only engaged when a ``graph_dir``
+        is configured, the resolved engine is the compiled kernel (the only
+        engine that produces cacheable graphs) and this verification would
+        actually compile (no complete graph in memory).  A process that
+        loses the claim race waits for the winner's publish and replays the
+        shipped graph; if the winner vanishes without publishing, the loser
+        compiles after all — correctness over exclusion.  Returns the held
+        :class:`~repro.verification.store.GraphStoreClaim` (released by
+        :meth:`verify` after the publish) or ``None``.
+        """
+        if not self.graph_dir or not isinstance(engine, CompiledKernelEngine):
+            return None
+        graph = self.packed.compiled_graph
+        if graph is not None and (graph.complete or graph.error is not None):
+            return None  # warm replay: nothing to compile, nothing to claim
+        from .store import store_for
+
+        store = store_for(self.graph_dir)
+        fingerprint = config_fingerprint(self.config)
+        claim = store.claim(fingerprint)
+        if claim is not None:
+            # Won the claim — but a publisher may have finished between the
+            # constructor's load attempt and now; re-check once.
+            if maybe_load_graph(self.packed, self.graph_dir):
+                claim.release()
+                return None
+            return claim
+        if self.packed.compiled_graph is not None:
+            # A delta-warm-started compile is typically cheaper than
+            # waiting out the claim holder's cold compile; just run it
+            # (the publish is idempotent either way).
+            return None
+        store.wait_for(fingerprint)
+        if maybe_load_graph(self.packed, self.graph_dir):
+            return None
+        # The claim holder failed or shipped nothing usable; compile after
+        # all, re-claiming when possible.
+        return store.claim(fingerprint)
+
     def _reconstruct_trace(
         self,
         parents: Mapping[int, Tuple[int, int]],

@@ -693,6 +693,7 @@ class CompiledStateGraph:
         "_parent_labels",
         "delta_hints",
         "delta_stats",
+        "delta_export",
     )
 
     def __init__(self, system) -> None:
@@ -732,6 +733,12 @@ class CompiledStateGraph:
         #: expansion, and the parent fingerprint — kept after the hints are
         #: dropped so callers can report the delta reuse.
         self.delta_stats: Optional[dict] = None
+        #: Candidate-independent warm-start export of *this* graph acting
+        #: as a delta parent (:func:`repro.verification.delta.parent_export`)
+        #: — extracted state fields and int64 CSR copies shared by every
+        #: child warm-started from it in a first-fit sweep.  Built lazily,
+        #: dropped with the graph.
+        self.delta_export = None
 
     def close(self) -> None:
         """Release the spill store (memmap handles + files), if any.
@@ -1386,30 +1393,17 @@ def maybe_load_graph(system, directory: Optional[str]) -> bool:
     """Install a cached compiled graph when one matches the configuration.
 
     Best-effort by design (the directory is a cache, possibly restored
-    stale by CI): a missing, mismatched or corrupt file simply leaves the
-    system without a graph.  Returns True when a graph was loaded.
+    stale by CI): a missing, mismatched or corrupt entry simply leaves the
+    system without a graph.  Routed through the content-addressed
+    :class:`~repro.verification.store.GraphStore` of the directory, which
+    refreshes the entry's LRU recency on a hit and drops corrupt entries
+    for recompilation.  Returns True when a graph was loaded.
     """
     if not directory or system.compiled_graph is not None:
         return False
-    path = graph_cache_path(directory, system.config)
-    if not os.path.exists(path):
-        return False
-    try:
-        load_graph(system, path)
-    except Exception as error:
-        # Anything a stale or truncated cache file can throw (BadZipFile,
-        # zlib errors, our own mismatch/corruption checks, ...) means the
-        # same thing here: no usable graph, log it and explore from
-        # scratch — a corrupt cache must never fail a verification (the
-        # dimensioner probes dozens of configurations through this path).
-        system.compiled_graph = None
-        logger.warning(
-            "ignoring unusable compiled-graph cache %s (recompiling): %s",
-            path,
-            error,
-        )
-        return False
-    return True
+    from .store import store_for
+
+    return store_for(directory).load(system)
 
 
 def maybe_save_graph(system, directory: Optional[str]) -> Optional[str]:
@@ -1417,13 +1411,13 @@ def maybe_save_graph(system, directory: Optional[str]) -> Optional[str]:
 
     Only complete (or error-stopped) graphs are worth shipping; partial
     graphs are skipped, as are configurations already present in the
-    cache.  Concurrent dimensioning workers can share one directory: each
-    writer stages into its own collision-free temp file and publishes it
-    with an atomic ``os.replace``, and a configuration already present is
-    skipped without touching the file (readers never observe a partial
-    graph, and the last finisher of a race simply replaces an identical
-    cache entry).  Returns the path written, or ``None`` when nothing was
-    saved.
+    cache.  Routed through the content-addressed
+    :class:`~repro.verification.store.GraphStore` of the directory:
+    concurrent dimensioning workers share one directory safely (atomic
+    temp-stage + ``os.replace`` publish, already-present fingerprints
+    skipped untouched) and each publish runs one LRU eviction pass when
+    ``REPRO_GRAPH_STORE_BYTES`` bounds the store.  Returns the entry path
+    written, or ``None`` when nothing was saved.
     """
     graph = system.compiled_graph
     if (
@@ -1432,22 +1426,6 @@ def maybe_save_graph(system, directory: Optional[str]) -> Optional[str]:
         or not (graph.complete or graph.error is not None)
     ):
         return None
-    path = graph_cache_path(directory, system.config)
-    if os.path.exists(path):
-        return None
-    temp_path = _temp_cache_path(path)
-    try:
-        os.makedirs(directory, exist_ok=True)
-        with open(temp_path, "wb") as handle:
-            graph.save(handle)
-        os.replace(temp_path, path)
-    except OSError as error:
-        # The cache directory is an optimization: a full disk or a
-        # read-only mount must never fail the verification that produced
-        # the graph.
-        logger.warning("could not persist compiled graph to %s: %s", path, error)
-        return None
-    finally:
-        if os.path.exists(temp_path):
-            os.unlink(temp_path)
-    return path
+    from .store import store_for
+
+    return store_for(directory).publish(system)

@@ -1,0 +1,102 @@
+"""Wire-protocol round trips: messages, profiles, results, budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    budget_from_wire,
+    decode_message,
+    encode_message,
+    profiles_from_wire,
+    profiles_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.verification import verify_slot_sharing
+from repro.verification.acceleration import instance_budgets
+
+
+class TestMessageFraming:
+    def test_round_trip(self):
+        line = encode_message({"id": 7, "op": "ping"})
+        assert line.endswith(b"\n")
+        assert decode_message(line) == {"id": 7, "op": "ping"}
+
+    def test_compact_encoding(self):
+        assert encode_message({"a": [1, 2]}) == b'{"a":[1,2]}\n'
+
+    def test_malformed_line_raises_service_error(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            decode_message(b"{nope\n")
+
+    def test_non_object_raises_service_error(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            decode_message(b"[1,2,3]\n")
+
+
+class TestProfileWire:
+    def test_round_trip(self, small_profile, second_small_profile):
+        wire = profiles_to_wire([small_profile, second_small_profile])
+        rebuilt = profiles_from_wire(wire)
+        assert [profile.name for profile in rebuilt] == ["A", "B"]
+        assert rebuilt[0].to_dict() == small_profile.to_dict()
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ServiceError, match="non-empty"):
+            profiles_from_wire([])
+
+    def test_garbage_entry_rejected(self):
+        with pytest.raises(ServiceError, match="unparseable"):
+            profiles_from_wire([{"name": "X"}])
+
+
+class TestResultWire:
+    def test_feasible_round_trip(self, small_profile, second_small_profile):
+        result = verify_slot_sharing([small_profile, second_small_profile])
+        rebuilt = result_from_wire(result_to_wire(result))
+        assert rebuilt.feasible is result.feasible
+        assert rebuilt.applications == result.applications
+        assert rebuilt.explored_states == result.explored_states
+        assert rebuilt.instance_budget == result.instance_budget
+        assert rebuilt.count_semantics == result.count_semantics
+
+    def test_counterexample_round_trip(
+        self, small_profile, second_small_profile, tight_profile
+    ):
+        result = verify_slot_sharing(
+            [small_profile, second_small_profile, tight_profile],
+            with_counterexample=True,
+        )
+        assert not result.feasible and result.counterexample
+        rebuilt = result_from_wire(result_to_wire(result))
+        assert rebuilt.counterexample == result.counterexample
+
+    def test_witness_stripped_when_not_requested(
+        self, small_profile, second_small_profile, tight_profile
+    ):
+        result = verify_slot_sharing(
+            [small_profile, second_small_profile, tight_profile],
+            with_counterexample=True,
+        )
+        wire = result_to_wire(result, with_counterexample=False)
+        assert wire["counterexample"] == []
+        assert not result_from_wire(wire).counterexample
+
+
+class TestBudgetWire:
+    def test_acceleration_default(self, small_profile, second_small_profile):
+        profiles = (small_profile, second_small_profile)
+        assert budget_from_wire({}, profiles) == instance_budgets(profiles)
+
+    def test_acceleration_off_means_unbounded(self, small_profile):
+        assert budget_from_wire({"use_acceleration": False}, (small_profile,)) is None
+
+    def test_explicit_budget_wins(self, small_profile):
+        payload = {"use_acceleration": False, "instance_budget": {"A": 3}}
+        assert budget_from_wire(payload, (small_profile,)) == {"A": 3}
+
+    def test_non_mapping_budget_rejected(self, small_profile):
+        with pytest.raises(ServiceError, match="instance_budget"):
+            budget_from_wire({"instance_budget": [1, 2]}, (small_profile,))

@@ -1,0 +1,237 @@
+"""Live-server tests: a real :class:`VerificationService` on a Unix socket.
+
+Covers the acceptance criteria of the service PR: server results are
+byte-identical to direct :func:`verify_slot_sharing` calls on the same
+configurations, and N concurrent cold requests for one fingerprint
+single-flight onto exactly one compile.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.dimensioning.first_fit import FirstFitDimensioner, dimension_with_verification
+from repro.exceptions import ServiceError
+from repro.service import ServiceClient, VerificationService
+from repro.service.protocol import profiles_to_wire, result_to_wire
+from repro.verification import verify_slot_sharing
+from repro.verification.acceleration import instance_budgets
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """A real server on a tempdir socket with a private graph store."""
+    socket_path = str(tmp_path / "repro.sock")
+    service = VerificationService(
+        socket_path, store_dir=str(tmp_path / "store"), workers=1
+    )
+    thread = threading.Thread(target=service.run, daemon=True)
+    thread.start()
+    for _ in range(500):
+        if os.path.exists(socket_path):
+            break
+        time.sleep(0.01)
+    else:
+        raise RuntimeError("service socket never appeared")
+    yield service
+    try:
+        with ServiceClient(socket_path, timeout=10.0) as client:
+            client.shutdown()
+    except ServiceError:
+        pass
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(server.socket_path) as connected:
+        yield connected
+
+
+def _comparable(result):
+    """Wire form minus the only timing-dependent field."""
+    wire = result_to_wire(result, with_counterexample=True)
+    wire.pop("elapsed_seconds")
+    return wire
+
+
+class TestBasicOps:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_stats_shape(self, client):
+        response = client.stats()
+        assert response["stats"]["requests"] >= 1
+        assert response["uptime_seconds"] >= 0
+        assert response["store"]["entries"] == 0
+
+    def test_unknown_op_reports_error_and_keeps_connection(self, client):
+        with pytest.raises(ServiceError, match="unknown op"):
+            client.request("frobnicate")
+        assert client.ping()  # same connection still serves
+
+    def test_bad_profiles_report_error_and_keep_connection(self, client):
+        with pytest.raises(ServiceError, match="non-empty"):
+            client.request("verify", profiles=[])
+        assert client.ping()
+
+
+class TestVerifyMatchesDirectCalls:
+    def test_feasible_pair_identical_to_direct(
+        self, client, tmp_path, small_profile, second_small_profile
+    ):
+        profiles = [small_profile, second_small_profile]
+        served = client.verify(profiles, with_counterexample=True)
+        # The server derives the paper's instance budgets by default
+        # (use_acceleration=true); the direct call must run the same config.
+        direct = verify_slot_sharing(
+            profiles,
+            instance_budget=instance_budgets(profiles),
+            with_counterexample=True,
+            graph_dir=str(tmp_path / "direct"),
+        )
+        assert served.feasible
+        assert _comparable(served) == _comparable(direct)
+
+    def test_infeasible_trio_identical_to_direct(
+        self, client, tmp_path, small_profile, second_small_profile, tight_profile
+    ):
+        profiles = [small_profile, second_small_profile, tight_profile]
+        served = client.verify(profiles, with_counterexample=True)
+        direct = verify_slot_sharing(
+            profiles,
+            instance_budget=instance_budgets(profiles),
+            with_counterexample=True,
+            graph_dir=str(tmp_path / "direct"),
+        )
+        assert not served.feasible and served.counterexample
+        assert _comparable(served) == _comparable(direct)
+
+    def test_tiers_progress_cold_to_warm(
+        self, client, server, small_profile, second_small_profile
+    ):
+        profiles = [small_profile, second_small_profile]
+        first = client.request(
+            "verify", profiles=profiles_to_wire(profiles), use_acceleration=True
+        )
+        again = client.request(
+            "verify", profiles=profiles_to_wire(profiles), use_acceleration=True
+        )
+        assert first["tier"] == "cold"
+        assert again["tier"] in ("memory", "store")
+        assert first["result"]["feasible"] == again["result"]["feasible"]
+        assert server.stats["compiles"] == 1
+        # The cold compile published to the shared store.
+        assert server.store.describe()["entries"] == 1
+
+    def test_counterexample_op_returns_minimized_witness(
+        self, client, small_profile, second_small_profile, tight_profile
+    ):
+        profiles = [small_profile, second_small_profile, tight_profile]
+        result = client.counterexample(profiles)
+        assert not result.feasible
+        assert result.counterexample
+        direct = verify_slot_sharing(
+            profiles,
+            instance_budget=instance_budgets(profiles),
+            with_counterexample=True,
+        ).minimize()
+        assert result.counterexample == direct.counterexample
+
+    def test_admit(self, client, small_profile, second_small_profile, tight_profile):
+        assert client.admit([small_profile, second_small_profile])
+        assert not client.admit(
+            [small_profile, second_small_profile, tight_profile]
+        )
+
+
+class TestSingleFlight:
+    def test_concurrent_cold_requests_compile_once(
+        self, client, server, small_profile, second_small_profile
+    ):
+        wire_profiles = profiles_to_wire([small_profile, second_small_profile])
+        fan_out = 6
+        responses = client.batch(
+            [
+                {"op": "admit", "profiles": wire_profiles, "use_acceleration": True}
+                for _ in range(fan_out)
+            ]
+        )
+        assert len(responses) == fan_out
+        assert all(response["ok"] for response in responses)
+        assert len({response["admitted"] for response in responses}) == 1
+        assert server.stats["compiles"] == 1
+        assert server.stats["coalesced"] == fan_out - 1
+
+    def test_distinct_configs_do_not_coalesce(
+        self, client, server, small_profile, second_small_profile
+    ):
+        responses = client.batch(
+            [
+                {"op": "admit", "profiles": profiles_to_wire([small_profile])},
+                {"op": "admit", "profiles": profiles_to_wire([second_small_profile])},
+            ]
+        )
+        assert all(response["ok"] for response in responses)
+        assert server.stats["compiles"] == 2
+        assert server.stats["coalesced"] == 0
+
+
+class TestDimensioningOverTheService:
+    def test_first_fit_op_matches_local_dimensioning(
+        self, client, tmp_path, small_profile, second_small_profile, tight_profile
+    ):
+        profiles = {
+            profile.name: profile
+            for profile in (small_profile, second_small_profile, tight_profile)
+        }
+        served = client.first_fit(list(profiles.values()))
+        local = dimension_with_verification(
+            profiles, graph_dir=str(tmp_path / "direct")
+        )
+        assert served["partition"] == [list(names) for names in local.partition()]
+        assert served["slot_count"] == local.slot_count
+        assert served["order"] == list(local.order)
+        assert served["verifications"] == local.verifications
+
+    def test_admission_test_drives_the_first_fit_dimensioner(
+        self, client, tmp_path, small_profile, second_small_profile, tight_profile
+    ):
+        profiles = {
+            profile.name: profile
+            for profile in (small_profile, second_small_profile, tight_profile)
+        }
+        remote = FirstFitDimensioner(
+            profiles, admission_test=client.admission_test()
+        ).dimension()
+        local = dimension_with_verification(
+            profiles, graph_dir=str(tmp_path / "direct")
+        )
+        assert remote.partition() == local.partition()
+        assert remote.slot_count == local.slot_count
+
+
+class TestBatchOp:
+    def test_mixed_batch_preserves_order_and_isolates_failures(
+        self, client, small_profile
+    ):
+        responses = client.batch(
+            [
+                {"op": "ping"},
+                {"op": "frobnicate"},
+                {"op": "admit", "profiles": profiles_to_wire([small_profile])},
+            ]
+        )
+        assert responses[0]["ok"] and responses[0]["pong"]
+        assert not responses[1]["ok"] and "unknown op" in responses[1]["error"]
+        assert responses[2]["ok"] and "admitted" in responses[2]
+        assert client.ping()
+
+    def test_nested_batch_rejected(self, client):
+        with pytest.raises(ServiceError, match="nest"):
+            client.batch([{"op": "batch", "requests": []}])

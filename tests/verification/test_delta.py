@@ -289,6 +289,100 @@ class TestVerifierIntegration:
         assert not maybe_warm_start_graph(child_system, parent_config)
 
 
+# ------------------------------------------------------- export amortization
+class TestParentExportAmortization:
+    """The O(parent) half of the warm-start setup (field extraction, CSR
+    lifts) is built once per parent graph and shared by every child of a
+    first-fit sweep; re-probes of the same (parent, candidate) pair reuse
+    the memoized hints outright."""
+
+    def test_export_built_once_and_shared_across_children(
+        self, small_profile, second_small_profile
+    ):
+        from repro.verification.delta import parent_export
+
+        third = SwitchingProfile.from_arrays("D", 8, 16, [2, 2], [3, 3])
+        parent_config = _config([small_profile])
+        parent_graph = _cold_graph(parent_config)
+
+        first_child = PackedSlotSystem(_config([small_profile, second_small_profile]))
+        second_child = PackedSlotSystem(_config([small_profile, third]))
+        first_graph = warm_start_graph(parent_graph, first_child)
+        export = parent_graph.delta_export
+        assert export is not None
+        second_graph = warm_start_graph(parent_graph, second_child)
+        # One export serves both children...
+        assert parent_graph.delta_export is export
+        assert parent_export(parent_graph) is export
+        # ...and both hints reference the export's shared CSR lifts instead
+        # of holding per-child copies.
+        assert first_graph.delta_hints.parent_indptr is export.indptr
+        assert second_graph.delta_hints.parent_indptr is export.indptr
+        assert first_graph.delta_hints.parent_succ_ids is export.succ_ids
+
+    def test_deposit_matches_translate_states(
+        self, small_profile, second_small_profile
+    ):
+        from repro.verification.delta import _deposit_translation, _ParentExport
+
+        third = SwitchingProfile.from_arrays("D", 8, 16, [2, 2], [3, 3])
+        parent_system = PackedSlotSystem(
+            _config([small_profile, second_small_profile])
+        )
+        parent_graph = CompiledStateGraph(parent_system)
+        parent_graph.explore(CAP, False)
+        parent_system.compiled_graph = parent_graph
+        child_system = PackedSlotSystem(
+            _config([small_profile, second_small_profile, third])
+        )
+        index_map = ((0, 0), (1, 1))
+        words = np.ascontiguousarray(
+            np.asarray(parent_graph.table.state_words)[: parent_graph.state_count],
+            dtype=np.uint64,
+        )
+        expected = translate_states(parent_system, child_system, index_map, words)
+        actual = _deposit_translation(
+            child_system, index_map, _ParentExport(parent_graph)
+        )
+        assert np.array_equal(actual, expected)
+
+    def test_hints_memoized_per_child_with_reset_stats(
+        self, small_profile, second_small_profile
+    ):
+        child_config = _config([small_profile, second_small_profile])
+        cold = _cold_graph(child_config)
+        parent_graph = _cold_graph(_config([small_profile]))
+
+        first_child = PackedSlotSystem(child_config)
+        first_graph = warm_start_graph(parent_graph, first_child)
+        hints = first_graph.delta_hints
+        first_graph.explore(CAP, True)
+        assert hints.stats["reused_rows"] > 0
+        _assert_identical(cold, first_graph)
+
+        # A re-probe of the same (parent, candidate) pair: fresh child
+        # system, memoized hints, counters restarted — and the compile is
+        # still byte-identical.
+        second_child = PackedSlotSystem(child_config)
+        second_graph = warm_start_graph(parent_graph, second_child)
+        assert second_graph.delta_hints is hints
+        assert second_graph.delta_hints.stats["reused_rows"] == 0
+        second_graph.explore(CAP, True)
+        _assert_identical(cold, second_graph)
+
+    def test_hints_cache_is_bounded(self, small_profile):
+        from repro.verification.delta import _HINTS_CACHE_SIZE
+
+        parent_graph = _cold_graph(_config([small_profile]))
+        for index in range(_HINTS_CACHE_SIZE + 3):
+            extra = SwitchingProfile.from_arrays(
+                f"X{index}", 8, 16 + index, [2, 2], [3, 3]
+            )
+            child = PackedSlotSystem(_config([small_profile, extra]))
+            assert warm_start_graph(parent_graph, child) is not None
+        assert len(parent_graph.delta_export.hints_cache) == _HINTS_CACHE_SIZE
+
+
 # ------------------------------------------------------------- count semantics
 class TestCountSemantics:
     def test_engines_report_their_semantics(self, small_profile, second_small_profile):

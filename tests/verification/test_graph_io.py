@@ -378,3 +378,57 @@ class TestConcurrentCacheWrites:
         assert maybe_load_graph(fresh, str(tmp_path))
         assert fresh.compiled_graph.complete
         assert fresh.compiled_graph.state_count == systems[0].compiled_graph.state_count
+
+    def test_racing_processes_compile_exactly_once(
+        self, tmp_path, small_profile, second_small_profile
+    ):
+        """Cross-process single-flight: N processes cold-verifying the same
+        fingerprint concurrently produce exactly one compile — the losers
+        find the winner's lockfile claim, wait out its publish and replay
+        the shipped graph without expanding a single state — and the store
+        ends up with exactly the one entry, no claim litter."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(3)
+        queue = context.Queue()
+        profiles = [small_profile, second_small_profile]
+        directory = str(tmp_path)
+
+        def worker():
+            from repro.scheduler.packed import clear_packed_caches
+
+            clear_packed_caches()
+            expansions = []
+            original = PackedSlotSystem.expand_frontier
+
+            def counting(self, word_matrix):
+                expansions.append(int(word_matrix.shape[0]))
+                return original(self, word_matrix)
+
+            PackedSlotSystem.expand_frontier = counting
+            barrier.wait()
+            result = verify_slot_sharing(
+                profiles,
+                with_counterexample=False,
+                engine="kernel",
+                graph_dir=directory,
+            )
+            queue.put((bool(expansions), result.feasible, result.explored_states))
+
+        processes = [context.Process(target=worker) for _ in range(3)]
+        for process in processes:
+            process.start()
+        results = [queue.get(timeout=120) for _ in processes]
+        for process in processes:
+            process.join(timeout=120)
+        compiled = [flag for flag, _, _ in results]
+        assert sum(compiled) == 1, f"expected exactly one compiler, got {results}"
+        # All three agree on the verdict and the visited count...
+        assert len({(feasible, states) for _, feasible, states in results}) == 1
+        # ...and the store holds exactly the published entry (claims are
+        # released after the publish, temp files never survive).
+        config = _pair_config(small_profile, second_small_profile)
+        assert sorted(os.listdir(directory)) == [
+            os.path.basename(graph_cache_path(directory, config))
+        ]
