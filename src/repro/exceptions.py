@@ -53,4 +53,21 @@ class MappingError(ReproError):
 
 
 class ServiceError(ReproError):
-    """The verification service rejected a request or the transport failed."""
+    """The verification service rejected a request or the transport failed.
+
+    Attributes:
+        code: machine-readable error code (see
+            :mod:`repro.service.protocol`); defaults to the generic
+            ``"invalid-request"``.
+        retryable: whether an identical retry has a reasonable chance of
+            succeeding (transient transport/worker failures) — the signal
+            :class:`repro.service.client.ServiceClient`'s backoff layer
+            keys on.
+    """
+
+    def __init__(
+        self, message: str, code: str = "invalid-request", retryable: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.code = str(code)
+        self.retryable = bool(retryable)

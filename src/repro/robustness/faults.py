@@ -1,0 +1,238 @@
+"""Composable config-level fault models.
+
+Every fault maps ``(profiles, explicit_budget)`` to a *derived*
+``(profiles, explicit_budget)`` whose switching profiles satisfy all the
+usual invariants (contiguous dwell table, ``Tdw^+ ≥ Tdw^-``, ``J* < r``),
+so the existing exploration engines explore the faulted configuration
+completely unchanged — fault injection happens at the timing-abstraction
+level, exactly where the paper's verification problem lives.
+
+The models:
+
+:class:`DroppedSlots`
+    Every ``every``-th occurrence of the shared TT slot is lost (bus
+    blackout, transient slot corruption).  An application that needed
+    ``d`` slot occurrences to dwell now needs ``d + ceil(d / every)``;
+    the inflation is monotone in ``d``, so ``Tdw^+ ≥ Tdw^-`` survives.
+:class:`SlotJitter`
+    Release jitter of up to ``amplitude`` samples eats into the admissible
+    wait budget: the dwell table is truncated to waits
+    ``0 .. Tw^* - amplitude`` (at least wait 0 always remains).
+:class:`BurstArrivals`
+    Disturbances cluster: the minimum inter-arrival time shrinks by
+    ``factor`` (clamped to the sporadic model's ``r > J*``), and explicit
+    instance budgets grow by one to admit the extra in-flight instance.
+:class:`AppDrop`
+    A transient application failure removes one application from the slot
+    (no-op on single-application configurations).
+:class:`AppRestart`
+    A restarting application redelivers its disturbance early — its ``r``
+    halves toward the ``J* + 1`` bound — and its explicit budget grows by
+    one for the replayed instance.
+
+``explicit_budget`` may be ``None`` (the campaign then derives the paper's
+instance budgets from the *faulted* profiles, so derived budgets track the
+fault automatically); fault models only rewrite budgets given explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..exceptions import ReproError
+from ..switching.profile import DwellTableEntry, SwitchingProfile
+
+__all__ = [
+    "FAULT_KINDS",
+    "AppDrop",
+    "AppRestart",
+    "BurstArrivals",
+    "DroppedSlots",
+    "SlotJitter",
+    "apply_faults",
+    "fault_from_dict",
+    "fault_to_dict",
+]
+
+Budget = Optional[Dict[str, int]]
+Profiles = Tuple[SwitchingProfile, ...]
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    return -(-numerator // denominator)
+
+
+@dataclass(frozen=True)
+class DroppedSlots:
+    """Every ``every``-th occurrence of the shared slot is dropped."""
+
+    every: int
+    kind = "dropped-slots"
+
+    def __post_init__(self) -> None:
+        if self.every < 2:
+            raise ReproError(f"dropped-slots period must be >= 2, got {self.every}")
+
+    def apply(self, profiles: Profiles, budget: Budget) -> Tuple[Profiles, Budget]:
+        derived = []
+        for profile in profiles:
+            entries = tuple(
+                DwellTableEntry(
+                    wait=entry.wait,
+                    min_dwell=entry.min_dwell + _ceil_div(entry.min_dwell, self.every),
+                    max_dwell=entry.max_dwell + _ceil_div(entry.max_dwell, self.every),
+                )
+                for entry in profile.dwell_table
+            )
+            derived.append(replace(profile, dwell_table=entries))
+        return tuple(derived), budget
+
+
+@dataclass(frozen=True)
+class SlotJitter:
+    """Release jitter of ``amplitude`` samples shortens the admissible wait."""
+
+    amplitude: int
+    kind = "slot-jitter"
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 1:
+            raise ReproError(f"jitter amplitude must be >= 1, got {self.amplitude}")
+
+    def apply(self, profiles: Profiles, budget: Budget) -> Tuple[Profiles, Budget]:
+        derived = []
+        for profile in profiles:
+            keep = max(1, len(profile.dwell_table) - self.amplitude)
+            derived.append(
+                replace(
+                    profile,
+                    dwell_table=profile.dwell_table[:keep],
+                    max_wait=keep - 1,
+                )
+            )
+        return tuple(derived), budget
+
+
+@dataclass(frozen=True)
+class BurstArrivals:
+    """Disturbance bursts: inter-arrival times compress by ``factor``."""
+
+    factor: float
+    kind = "burst-arrivals"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 1.0:
+            raise ReproError(f"burst factor must exceed 1, got {self.factor}")
+
+    def apply(self, profiles: Profiles, budget: Budget) -> Tuple[Profiles, Budget]:
+        derived = []
+        for profile in profiles:
+            compressed = max(
+                profile.requirement_samples + 1,
+                math.ceil(profile.min_inter_arrival / self.factor),
+            )
+            derived.append(replace(profile, min_inter_arrival=compressed))
+        new_budget = budget
+        if budget is not None:
+            new_budget = {name: count + 1 for name, count in budget.items()}
+        return tuple(derived), new_budget
+
+
+@dataclass(frozen=True)
+class AppDrop:
+    """Transient application failure: one application leaves the slot."""
+
+    victim: int
+    kind = "app-drop"
+
+    def __post_init__(self) -> None:
+        if self.victim < 0:
+            raise ReproError(f"victim index must be >= 0, got {self.victim}")
+
+    def apply(self, profiles: Profiles, budget: Budget) -> Tuple[Profiles, Budget]:
+        if len(profiles) <= 1:
+            return profiles, budget
+        index = self.victim % len(profiles)
+        dropped = profiles[index].name
+        derived = profiles[:index] + profiles[index + 1 :]
+        new_budget = budget
+        if budget is not None:
+            new_budget = {
+                name: count for name, count in budget.items() if name != dropped
+            }
+        return derived, new_budget
+
+
+@dataclass(frozen=True)
+class AppRestart:
+    """A restarting application redelivers its disturbance early."""
+
+    victim: int
+    kind = "app-restart"
+
+    def __post_init__(self) -> None:
+        if self.victim < 0:
+            raise ReproError(f"victim index must be >= 0, got {self.victim}")
+
+    def apply(self, profiles: Profiles, budget: Budget) -> Tuple[Profiles, Budget]:
+        index = self.victim % len(profiles)
+        profile = profiles[index]
+        floor = profile.requirement_samples + 1
+        compressed = max(floor, (profile.min_inter_arrival + floor) // 2)
+        derived = (
+            profiles[:index]
+            + (replace(profile, min_inter_arrival=compressed),)
+            + profiles[index + 1 :]
+        )
+        new_budget = budget
+        if budget is not None and profile.name in budget:
+            new_budget = dict(budget)
+            new_budget[profile.name] += 1
+        return derived, new_budget
+
+
+#: Fault kind -> class, the registry the generator and fixture replay share.
+_FAULTS_BY_KIND = {
+    DroppedSlots.kind: DroppedSlots,
+    SlotJitter.kind: SlotJitter,
+    BurstArrivals.kind: BurstArrivals,
+    AppDrop.kind: AppDrop,
+    AppRestart.kind: AppRestart,
+}
+
+#: Every fault kind, in a stable order (corpus-coverage accounting).
+FAULT_KINDS = tuple(sorted(_FAULTS_BY_KIND))
+
+
+def apply_faults(
+    profiles: Sequence[SwitchingProfile],
+    budget: Budget,
+    faults: Sequence[object],
+) -> Tuple[Profiles, Budget]:
+    """Apply a fault sequence left to right; each output feeds the next."""
+    derived: Profiles = tuple(profiles)
+    for fault in faults:
+        derived, budget = fault.apply(derived, budget)
+    if not derived:
+        raise ReproError("fault sequence removed every application")
+    return derived, budget
+
+
+def fault_to_dict(fault) -> Dict[str, object]:
+    """JSON-serialisable form (``kind`` + constructor parameters)."""
+    payload = {"kind": fault.kind}
+    for name in fault.__dataclass_fields__:
+        payload[name] = getattr(fault, name)
+    return payload
+
+
+def fault_from_dict(data: Dict[str, object]):
+    """Rebuild a fault model from :func:`fault_to_dict` output."""
+    kind = data.get("kind")
+    cls = _FAULTS_BY_KIND.get(str(kind))
+    if cls is None:
+        raise ReproError(f"unknown fault kind {kind!r}")
+    params = {name: value for name, value in data.items() if name != "kind"}
+    return cls(**params)

@@ -1,0 +1,254 @@
+"""Seeded, fully deterministic fault-injection scenario generator.
+
+A :class:`Scenario` is everything one robustness-campaign instance needs:
+randomly drawn switching profiles (either derived from random plant
+dynamics or free-form dwell tables), a FlexRay timing variant with its
+message set, a slot-sharing/budget configuration, and a fault sequence
+drawn from every model in :mod:`repro.robustness.faults`.
+
+Determinism is the load-bearing property: the generator seeds a
+``numpy`` :class:`~numpy.random.Generator` with the *entropy list*
+``[seed, index]`` (a :class:`numpy.random.SeedSequence` spawn key), so
+``ScenarioGenerator(seed).generate(index)`` rebuilds any scenario —
+including its faults and FlexRay variant — from ``(seed, index)`` alone,
+with no generator state threaded between indices.  That is what makes a
+one-line reproducer (`--seed S --start I --count 1`) and the persisted
+divergence fixtures possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..flexray.config import FlexRayConfig, Message
+from ..flexray.timing import validates_one_sample_delay
+from ..switching.profile import SwitchingProfile
+from ..verification.acceleration import instance_budgets
+from .faults import FAULT_KINDS, apply_faults, fault_from_dict, fault_to_dict
+
+__all__ = ["Scenario", "ScenarioGenerator"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One replayable campaign instance.
+
+    Attributes:
+        seed: corpus seed.
+        index: position within the corpus; ``(seed, index)`` replays it.
+        base_profiles: profiles before fault injection.
+        faults: the fault sequence applied to the base profiles.
+        profiles: the derived (faulted) profiles the engines explore.
+        explicit_budget: explicit per-application instance budgets, or
+            ``None`` to derive the paper's budgets from ``profiles``.
+        flexray: the FlexRay cycle variant of this scenario.
+        messages: one control message per base application.
+        flexray_one_sample_ok: whether the variant meets the paper's
+            one-sample worst-case-delay assumption for the message set.
+    """
+
+    seed: int
+    index: int
+    base_profiles: Tuple[SwitchingProfile, ...]
+    faults: Tuple[object, ...]
+    profiles: Tuple[SwitchingProfile, ...]
+    explicit_budget: Optional[Dict[str, int]]
+    flexray: FlexRayConfig
+    messages: Tuple[Message, ...]
+    flexray_one_sample_ok: bool
+
+    @property
+    def fault_kinds(self) -> Tuple[str, ...]:
+        return tuple(fault.kind for fault in self.faults)
+
+    def effective_budget(self) -> Dict[str, int]:
+        """The instance budgets the engines explore under.
+
+        An explicit budget is filtered to the surviving (post-fault)
+        applications; otherwise the paper's budgets derive from the
+        *faulted* profiles, so e.g. a burst fault's shorter inter-arrival
+        times yield a larger budget automatically.
+        """
+        if self.explicit_budget is not None:
+            names = {profile.name for profile in self.profiles}
+            return {
+                name: count
+                for name, count in self.explicit_budget.items()
+                if name in names
+            }
+        return instance_budgets(self.profiles)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "index": self.index,
+            "base_profiles": [profile.to_dict() for profile in self.base_profiles],
+            "faults": [fault_to_dict(fault) for fault in self.faults],
+            "profiles": [profile.to_dict() for profile in self.profiles],
+            "explicit_budget": self.explicit_budget,
+            "flexray": {
+                "cycle_length": self.flexray.cycle_length,
+                "static_slot_count": self.flexray.static_slot_count,
+                "static_slot_length": self.flexray.static_slot_length,
+                "minislot_count": self.flexray.minislot_count,
+                "minislot_length": self.flexray.minislot_length,
+                "network_idle_time": self.flexray.network_idle_time,
+            },
+            "messages": [
+                {
+                    "name": message.name,
+                    "payload_bits": message.payload_bits,
+                    "frame_id": message.frame_id,
+                    "minislots_needed": message.minislots_needed,
+                }
+                for message in self.messages
+            ],
+            "flexray_one_sample_ok": self.flexray_one_sample_ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        return cls(
+            seed=int(data["seed"]),
+            index=int(data["index"]),
+            base_profiles=tuple(
+                SwitchingProfile.from_dict(entry) for entry in data["base_profiles"]
+            ),
+            faults=tuple(fault_from_dict(entry) for entry in data["faults"]),
+            profiles=tuple(
+                SwitchingProfile.from_dict(entry) for entry in data["profiles"]
+            ),
+            explicit_budget=(
+                None
+                if data.get("explicit_budget") is None
+                else {
+                    str(name): int(count)
+                    for name, count in dict(data["explicit_budget"]).items()
+                }
+            ),
+            flexray=FlexRayConfig(**data["flexray"]),
+            messages=tuple(Message(**entry) for entry in data["messages"]),
+            flexray_one_sample_ok=bool(data["flexray_one_sample_ok"]),
+        )
+
+
+class ScenarioGenerator:
+    """Deterministic corpus generator; see the module docstring."""
+
+    #: Application-count distribution — biased toward 2-3 applications,
+    #: where slot sharing is interesting but products stay explorable.
+    _APP_COUNT = (1, 2, 3, 4)
+    _APP_COUNT_P = (0.15, 0.45, 0.3, 0.1)
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------- generation
+    def generate(self, index: int) -> Scenario:
+        """The scenario at ``index`` — a pure function of ``(seed, index)``."""
+        rng = np.random.default_rng([self.seed, int(index)])
+        app_count = int(rng.choice(self._APP_COUNT, p=self._APP_COUNT_P))
+        base_profiles = tuple(
+            self._profile(rng, f"A{position}") for position in range(app_count)
+        )
+        explicit_budget: Optional[Dict[str, int]] = None
+        if rng.random() < 0.25:
+            explicit_budget = {
+                profile.name: int(rng.integers(1, 3)) for profile in base_profiles
+            }
+        faults = self._faults(rng, app_count)
+        profiles, explicit_budget = apply_faults(base_profiles, explicit_budget, faults)
+        flexray = self._flexray(rng)
+        messages = tuple(
+            Message(
+                name=profile.name,
+                payload_bits=64,
+                frame_id=position + 1,
+                minislots_needed=int(rng.integers(2, 7)),
+            )
+            for position, profile in enumerate(base_profiles)
+        )
+        return Scenario(
+            seed=self.seed,
+            index=int(index),
+            base_profiles=base_profiles,
+            faults=faults,
+            profiles=profiles,
+            explicit_budget=explicit_budget,
+            flexray=flexray,
+            messages=messages,
+            flexray_one_sample_ok=validates_one_sample_delay(flexray, messages),
+        )
+
+    def corpus(self, count: int, start: int = 0):
+        """Iterate scenarios ``start .. start + count - 1``."""
+        for index in range(int(start), int(start) + int(count)):
+            yield self.generate(index)
+
+    # --------------------------------------------------------------- drawing
+    @staticmethod
+    def _profile(rng: np.random.Generator, name: str) -> SwitchingProfile:
+        requirement = int(rng.integers(6, 16))
+        max_wait = int(rng.integers(0, 4))
+        inter_arrival = requirement + 1 + int(rng.integers(0, 8))
+        if rng.random() < 0.5:
+            # "Plant mode": dwell bounds shaped like a geometrically
+            # decaying closed loop — the slower the decay (spectral radius
+            # rho near 1), the longer the minimum dwell; waiting longer in
+            # ET costs extra dwell one-for-one, which is exactly the
+            # monotone structure of the paper's Table 1.
+            rho = 0.5 + 0.45 * float(rng.random())
+            base = min(5, max(1, round(1.0 / (1.0 - rho) / 2.0)))
+            mins: List[int] = [base + wait for wait in range(max_wait + 1)]
+            maxs = [dwell + int(rng.integers(0, 3)) for dwell in mins]
+        else:
+            # Free-form mode: per-wait independent bounds, exercising
+            # non-monotone tables the plant abstraction never produces.
+            mins = [int(rng.integers(1, 5)) for _ in range(max_wait + 1)]
+            maxs = [dwell + int(rng.integers(0, 4)) for dwell in mins]
+        return SwitchingProfile.from_arrays(
+            name=name,
+            requirement_samples=requirement,
+            min_inter_arrival=inter_arrival,
+            min_dwell=mins,
+            max_dwell=maxs,
+        )
+
+    @staticmethod
+    def _faults(rng: np.random.Generator, app_count: int) -> Tuple[object, ...]:
+        fault_count = int(rng.choice((0, 1, 2), p=(0.35, 0.45, 0.2)))
+        if fault_count == 0:
+            return ()
+        kinds = rng.choice(len(FAULT_KINDS), size=fault_count, replace=False)
+        faults = []
+        for kind_index in kinds:
+            kind = FAULT_KINDS[int(kind_index)]
+            if kind == "dropped-slots":
+                faults.append(fault_from_dict({"kind": kind, "every": int(rng.integers(2, 6))}))
+            elif kind == "slot-jitter":
+                faults.append(fault_from_dict({"kind": kind, "amplitude": int(rng.integers(1, 3))}))
+            elif kind == "burst-arrivals":
+                faults.append(
+                    fault_from_dict({"kind": kind, "factor": round(1.5 + 2.0 * float(rng.random()), 3)})
+                )
+            elif kind == "app-drop":
+                faults.append(fault_from_dict({"kind": kind, "victim": int(rng.integers(0, app_count))}))
+            else:  # app-restart
+                faults.append(fault_from_dict({"kind": kind, "victim": int(rng.integers(0, app_count))}))
+        return tuple(faults)
+
+    @staticmethod
+    def _flexray(rng: np.random.Generator) -> FlexRayConfig:
+        # Every draw fits a 20 ms cycle: <=10 ms static + <=8 ms dynamic
+        # + 1 ms idle, so the variant is valid by construction.
+        return FlexRayConfig(
+            cycle_length=20.0,
+            static_slot_count=int(rng.integers(4, 11)),
+            static_slot_length=1.0,
+            minislot_count=int(rng.integers(40, 161)),
+            minislot_length=0.05,
+            network_idle_time=1.0,
+        )

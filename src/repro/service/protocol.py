@@ -54,8 +54,29 @@ Responses
 ---------
 
 ``{"id": ..., "ok": true, ...payload...}`` on success, and
-``{"id": ..., "ok": false, "error": "<message>"}`` on failure — a failed
-request never tears down the connection.
+``{"id": ..., "ok": false, "error": "<message>", "code": "<code>",
+"retryable": <bool>}`` on failure — a failed request never tears down the
+connection.
+
+Error codes
+-----------
+
+``code`` classifies failures so clients can decide mechanically whether a
+retry makes sense; ``retryable`` is the server's own judgement (always
+``code in RETRYABLE_CODES``):
+
+``invalid-request``
+    Malformed or semantically invalid request (bad profiles, unknown op).
+    Never retryable: an identical resend fails identically.
+``worker-pool-failure``
+    The cold-compile worker pool died mid-request (a worker was OOM-killed
+    or crashed).  Retryable: the server rebuilds the pool, so a resend of
+    the identical request compiles on a fresh worker.
+``shutting-down``
+    The request raced the server's shutdown.  Retryable against a
+    restarted server.
+``internal``
+    Unexpected server-side failure.  Not retryable by default.
 """
 
 from __future__ import annotations
@@ -68,10 +89,16 @@ from ..switching.profile import SwitchingProfile
 from ..verification.result import CounterexampleStep, VerificationResult
 
 __all__ = [
+    "CODE_INTERNAL",
+    "CODE_INVALID",
+    "CODE_SHUTTING_DOWN",
+    "CODE_WORKER_POOL",
+    "RETRYABLE_CODES",
     "SOCKET_ENV_VAR",
     "budget_from_wire",
     "decode_message",
     "encode_message",
+    "error_response",
     "profiles_from_wire",
     "profiles_to_wire",
     "result_from_wire",
@@ -82,6 +109,16 @@ __all__ = [
 #: and the CLI client.
 SOCKET_ENV_VAR = "REPRO_SERVICE_SOCKET"
 
+#: Machine-readable error codes (see the module docstring).
+CODE_INVALID = "invalid-request"
+CODE_WORKER_POOL = "worker-pool-failure"
+CODE_SHUTTING_DOWN = "shutting-down"
+CODE_INTERNAL = "internal"
+
+#: Codes whose failures are transient: an identical retry against the same
+#: (or a restarted) server has a reasonable chance of succeeding.
+RETRYABLE_CODES = frozenset({CODE_WORKER_POOL, CODE_SHUTTING_DOWN})
+
 #: Refuse pathological lines instead of buffering them (a malformed client
 #: could otherwise grow the read buffer without bound).
 MAX_LINE_BYTES = 8 * 1024 * 1024
@@ -90,6 +127,25 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 def encode_message(message: Mapping[str, Any]) -> bytes:
     """One wire line: compact JSON, newline-terminated, UTF-8."""
     return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def error_response(error: BaseException) -> Dict[str, Any]:
+    """The wire form of a failed request.
+
+    :class:`~repro.exceptions.ServiceError` carries its own code/retryable
+    classification; any other exception is an ``internal`` failure.
+    """
+    from ..exceptions import ServiceError
+
+    if isinstance(error, ServiceError):
+        code = error.code
+        retryable = error.retryable or code in RETRYABLE_CODES
+        message = str(error)
+    else:
+        code = CODE_INTERNAL
+        retryable = False
+        message = f"{type(error).__name__}: {error}"
+    return {"ok": False, "error": message, "code": code, "retryable": retryable}
 
 
 def decode_message(line: bytes) -> Dict[str, Any]:

@@ -36,7 +36,7 @@ import logging
 import os
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Dict, Optional
 
 from ..exceptions import ServiceError
@@ -46,10 +46,13 @@ from ..verification.exhaustive import DEFAULT_MAX_STATES, verify_slot_sharing
 from ..verification.kernel import config_fingerprint
 from ..verification.store import store_for
 from .protocol import (
+    CODE_SHUTTING_DOWN,
+    CODE_WORKER_POOL,
     MAX_LINE_BYTES,
     budget_from_wire,
     decode_message,
     encode_message,
+    error_response,
     profiles_from_wire,
     result_to_wire,
 )
@@ -150,13 +153,22 @@ class VerificationService:
             "compiles": 0,
             "coalesced": 0,
             "errors": 0,
+            "pool_rebuilds": 0,
         }
 
     # ------------------------------------------------------------- lifecycle
-    async def start(self) -> None:
-        """Bind the socket and start the worker pool."""
+    def _make_executor(self) -> ProcessPoolExecutor:
+        """A fresh fork-context cold-compile pool."""
         import multiprocessing
 
+        worker_count = self.workers or max(1, (os.cpu_count() or 1) - 1)
+        return ProcessPoolExecutor(
+            max_workers=worker_count,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+
+    async def start(self) -> None:
+        """Bind the socket and start the worker pool."""
         os.makedirs(self.store_dir, exist_ok=True)
         socket_dir = os.path.dirname(self.socket_path)
         if socket_dir:
@@ -165,15 +177,12 @@ class VerificationService:
             os.unlink(self.socket_path)
         except OSError:
             pass
-        worker_count = self.workers or max(1, (os.cpu_count() or 1) - 1)
-        self._executor = ProcessPoolExecutor(
-            max_workers=worker_count,
-            mp_context=multiprocessing.get_context("fork"),
-        )
+        self._executor = self._make_executor()
         self._stopping = asyncio.Event()
         self._server = await asyncio.start_unix_server(
             self._on_connection, path=self.socket_path, limit=MAX_LINE_BYTES
         )
+        worker_count = self.workers or max(1, (os.cpu_count() or 1) - 1)
         logger.info(
             "verification service listening on %s (store %s, %d worker%s)",
             self.socket_path,
@@ -250,11 +259,11 @@ class VerificationService:
             response = await self._dispatch(request)
         except ServiceError as error:
             self.stats["errors"] += 1
-            response = {"ok": False, "error": str(error)}
+            response = error_response(error)
         except Exception as error:  # a failed request must not kill the server
             self.stats["errors"] += 1
             logger.exception("request failed")
-            response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            response = error_response(error)
         if request_id is not None:
             response.setdefault("id", request_id)
         return response
@@ -394,16 +403,60 @@ class VerificationService:
             f"{fingerprint}:{max_states}", _verify_job, payload
         )
 
+    async def _run_pooled(self, job, payload) -> Any:
+        """Run one job on the worker pool, surviving a dead pool.
+
+        A ``BrokenProcessPool`` (a worker was OOM-killed, segfaulted or
+        killed by an operator) poisons the whole executor: every in-flight
+        job fails and every later submit raises.  The in-flight request
+        cannot be salvaged — its worker is gone — so it fails with a
+        *structured retryable* error, but the pool is torn down and rebuilt
+        immediately so the retry (and every subsequent cold request)
+        compiles on fresh workers.
+        """
+        executor = self._executor
+        if executor is None:
+            raise ServiceError(
+                "server is shutting down",
+                code=CODE_SHUTTING_DOWN,
+                retryable=True,
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(executor, job, payload)
+        except BrokenExecutor as error:
+            self._rebuild_executor(executor)
+            raise ServiceError(
+                f"worker pool died mid-request ({error or type(error).__name__}); "
+                "the pool has been rebuilt — retry the request",
+                code=CODE_WORKER_POOL,
+                retryable=True,
+            ) from error
+
+    def _rebuild_executor(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken pool with a fresh one (once per failure).
+
+        Several coalesced single-flight jobs can observe the same broken
+        pool; only the first caller holding the still-installed executor
+        rebuilds, the rest see the replacement already in place.
+        """
+        if self._executor is not broken:
+            return
+        self.stats["pool_rebuilds"] += 1
+        logger.warning("cold-compile worker pool died; rebuilding")
+        self._executor = self._make_executor()
+        try:
+            broken.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # a broken pool may fail its own teardown
+            pass
+
     async def _single_flight(self, key: str, job, payload) -> Any:
         future = self._inflight.get(key)
         if future is None:
-            if self._executor is None:
-                raise ServiceError("server is shutting down")
-            loop = asyncio.get_running_loop()
-            future = asyncio.ensure_future(
-                loop.run_in_executor(self._executor, job, payload)
-            )
+            future = asyncio.ensure_future(self._run_pooled(job, payload))
             self._inflight[key] = future
+            # Pop on completion — failures included, so a pool death never
+            # leaves a poisoned entry coalescing future requests onto it.
             future.add_done_callback(lambda _done: self._inflight.pop(key, None))
             self.stats["compiles"] += 1
         else:

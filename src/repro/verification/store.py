@@ -352,6 +352,33 @@ class GraphStore:
         return parent or None
 
     # ----------------------------------------------------------- single flight
+    @staticmethod
+    def _claim_holder_alive(path: str) -> Optional[bool]:
+        """Whether a claim's recorded holder pid is alive on this host.
+
+        Claim files record their creator's pid.  ``False`` means the holder
+        is provably gone (same-host pid no longer exists — the worker was
+        SIGKILLed or crashed), ``True`` means it is alive, ``None`` means
+        no verdict (unreadable file, foreign-host claim): callers then fall
+        back to the age-based staleness rule.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                pid = int(handle.read().strip() or "0")
+        except (OSError, ValueError):
+            return None
+        if pid <= 0:
+            return None
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True  # exists, owned by someone else
+        except OSError:
+            return None
+        return True
+
     def claim(self, fingerprint: str) -> Optional[GraphStoreClaim]:
         """Try to take the single-flight compile claim of a fingerprint.
 
@@ -359,8 +386,11 @@ class GraphStore:
         (including an *unlocked* claim when the directory cannot host a
         lockfile — correctness over exclusion), or ``None`` when another
         live process already holds the claim — the caller should
-        :meth:`wait_for` the publish instead of compiling.  Claims older
-        than :attr:`claim_timeout` are presumed crashed and broken.
+        :meth:`wait_for` the publish instead of compiling.  A claim whose
+        recorded holder pid is provably dead is broken immediately (a
+        crashed compiler must not stall its retry for the timeout); claims
+        older than :attr:`claim_timeout` are presumed crashed and broken
+        regardless.
         """
         path = self.claim_path(fingerprint)
         try:
@@ -374,6 +404,15 @@ class GraphStore:
             try:
                 descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
+                if self._claim_holder_alive(path) is False:
+                    logger.warning(
+                        "breaking compile claim %s (holder is dead)", path
+                    )
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    continue
                 try:
                     age = time.time() - os.path.getmtime(path)
                 except OSError:
@@ -410,7 +449,9 @@ class GraphStore:
         """Wait for another process's compile of a fingerprint to publish.
 
         Polls until the entry appears, the claim vanishes without a publish
-        (the compiler failed or produced nothing worth shipping) or the
+        (the compiler failed or produced nothing worth shipping), the claim
+        holder is found dead (crashed compiler: return immediately so the
+        caller can compile instead of stalling for the timeout) or the
         timeout (default: :attr:`claim_timeout`) expires.  Returns whether
         the entry is now present.
         """
@@ -424,6 +465,8 @@ class GraphStore:
                 return True
             if not os.path.exists(claim):
                 return os.path.exists(entry)
+            if self._claim_holder_alive(claim) is False:
+                return os.path.exists(entry)
             if time.monotonic() >= deadline:
                 return os.path.exists(entry)
             time.sleep(poll_interval)
@@ -432,12 +475,17 @@ class GraphStore:
     def evict(self) -> List[str]:
         """One LRU eviction pass; returns the evicted fingerprints.
 
-        Drops orphaned ``.parent`` sidecars (their entry is gone)
-        unconditionally, then — when a byte budget is configured — removes
-        least-recently-used entries until the store fits, skipping entries
-        pinned by in-flight queries and entries whose compile claim is
-        currently held (a claimed fingerprint is about to be re-published
-        or re-read; evicting it would duplicate work).
+        Sweeps crash debris first: publish temp files
+        (``graph-*.npz.tmp-<pid>-<n>`` and their ``.parent`` staging twins)
+        whose writer died mid-publish are deleted once they are older than
+        :attr:`claim_timeout` — a live publisher stages for milliseconds,
+        so an old temp file can only be an interrupted one.  Then drops
+        orphaned ``.parent`` sidecars (their entry is gone)
+        unconditionally, and finally — when a byte budget is configured —
+        removes least-recently-used entries until the store fits, skipping
+        entries pinned by in-flight queries and entries whose compile claim
+        is currently held (a claimed fingerprint is about to be
+        re-published or re-read; evicting it would duplicate work).
         """
         try:
             names = os.listdir(self.directory)
@@ -445,12 +493,27 @@ class GraphStore:
             return []
         present = set()
         sidecars = []
+        now = time.time()
         for name in names:
             fingerprint = self._fingerprint_of_entry(name)
             if fingerprint is not None:
                 present.add(fingerprint)
             elif name.startswith("graph-") and name.endswith(".npz.parent"):
                 sidecars.append(name[len("graph-") : -len(".npz.parent")])
+            elif name.startswith("graph-") and ".tmp-" in name:
+                path = os.path.join(self.directory, name)
+                try:
+                    age = now - os.path.getmtime(path)
+                except OSError:
+                    continue  # the writer finished (renamed/removed it): fine
+                if age > self.claim_timeout:
+                    logger.warning(
+                        "sweeping interrupted publish %s (%.0f s old)", path, age
+                    )
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
         for fingerprint in sidecars:
             if fingerprint not in present:
                 try:

@@ -1,0 +1,123 @@
+"""Fault models derive valid configurations and roundtrip through dicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.robustness.faults import (
+    AppDrop,
+    AppRestart,
+    BurstArrivals,
+    DroppedSlots,
+    SlotJitter,
+    apply_faults,
+    fault_from_dict,
+    fault_to_dict,
+)
+
+
+@pytest.fixture()
+def pair(small_profile, second_small_profile):
+    return (small_profile, second_small_profile)
+
+
+class TestDroppedSlots:
+    def test_inflates_dwell_bounds_monotonically(self, pair):
+        derived, _ = DroppedSlots(every=3).apply(pair, None)
+        for before, after in zip(pair, derived):
+            for old, new in zip(before.dwell_table, after.dwell_table):
+                assert new.min_dwell > old.min_dwell
+                assert new.max_dwell >= new.min_dwell
+            assert after.max_wait == before.max_wait
+
+    def test_rejects_degenerate_period(self):
+        with pytest.raises(ReproError):
+            DroppedSlots(every=1)
+
+
+class TestSlotJitter:
+    def test_truncates_admissible_waits(self, pair):
+        derived, _ = SlotJitter(amplitude=2).apply(pair, None)
+        for before, after in zip(pair, derived):
+            assert after.max_wait == max(0, before.max_wait - 2)
+            assert len(after.dwell_table) == after.max_wait + 1
+
+    def test_wait_zero_always_survives(self, small_profile):
+        derived, _ = SlotJitter(amplitude=99).apply((small_profile,), None)
+        assert derived[0].max_wait == 0
+        assert len(derived[0].dwell_table) == 1
+
+
+class TestBurstArrivals:
+    def test_compresses_inter_arrival_within_sporadic_bound(self, pair):
+        derived, _ = BurstArrivals(factor=3.0).apply(pair, None)
+        for before, after in zip(pair, derived):
+            assert after.min_inter_arrival < before.min_inter_arrival
+            assert after.min_inter_arrival > after.requirement_samples
+
+    def test_bumps_explicit_budgets(self, pair):
+        budget = {"A": 1, "B": 2}
+        _, derived_budget = BurstArrivals(factor=2.0).apply(pair, budget)
+        assert derived_budget == {"A": 2, "B": 3}
+        assert budget == {"A": 1, "B": 2}  # input untouched
+
+
+class TestAppDropAndRestart:
+    def test_drop_removes_victim_and_its_budget(self, pair):
+        derived, budget = AppDrop(victim=0).apply(pair, {"A": 1, "B": 2})
+        assert [profile.name for profile in derived] == ["B"]
+        assert budget == {"B": 2}
+
+    def test_drop_is_noop_on_single_application(self, small_profile):
+        derived, budget = AppDrop(victim=0).apply((small_profile,), {"A": 1})
+        assert derived == (small_profile,)
+        assert budget == {"A": 1}
+
+    def test_restart_halves_inter_arrival_toward_bound(self, pair):
+        derived, budget = AppRestart(victim=1).apply(pair, {"A": 1, "B": 1})
+        victim = derived[1]
+        assert victim.min_inter_arrival < pair[1].min_inter_arrival
+        assert victim.min_inter_arrival > victim.requirement_samples
+        assert budget == {"A": 1, "B": 2}
+
+
+class TestComposition:
+    def test_faults_compose_left_to_right(self, pair):
+        derived, _ = apply_faults(
+            pair, None, [SlotJitter(amplitude=1), DroppedSlots(every=2)]
+        )
+        for before, after in zip(pair, derived):
+            assert after.max_wait == before.max_wait - 1
+            assert after.dwell_table[0].min_dwell > before.dwell_table[0].min_dwell
+
+    def test_composition_cannot_remove_every_application(self, small_profile):
+        # AppDrop no-ops at one application, so the guard is unreachable
+        # through the real models; exercise it with a direct empty result.
+        class _Nuke:
+            kind = "nuke"
+
+            def apply(self, profiles, budget):
+                return (), budget
+
+        with pytest.raises(ReproError, match="removed every application"):
+            apply_faults((small_profile,), None, [_Nuke()])
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            DroppedSlots(every=4),
+            SlotJitter(amplitude=2),
+            BurstArrivals(factor=1.75),
+            AppDrop(victim=1),
+            AppRestart(victim=0),
+        ],
+    )
+    def test_roundtrip(self, fault):
+        assert fault_from_dict(fault_to_dict(fault)) == fault
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            fault_from_dict({"kind": "cosmic-rays"})

@@ -1,0 +1,83 @@
+"""Replay every committed divergence fixture.
+
+A fixture is the shrunk reproducer of a (real or synthetically injected)
+cross-engine divergence.  Replaying one asserts two things:
+
+* **Determinism** — regenerating the scenario from the recorded
+  ``(seed, index)`` and re-applying the recorded shrink trace rebuilds the
+  persisted profiles bit-for-bit, so the fixture really is reproducible
+  from those two numbers alone.
+* **Regression** — the current engines agree on the fixture configuration
+  (a fixture born from a real engine bug keeps its trigger exercised
+  forever after the fix; a synthetic one still pins the shrink machinery).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.robustness import ScenarioGenerator
+from repro.robustness.campaign import _compare, _explore_all, apply_shrink_op
+from repro.robustness.faults import fault_from_dict
+from repro.switching.profile import SwitchingProfile
+from repro.verification.acceleration import instance_budgets
+
+FIXTURES_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _fixture_paths():
+    if not os.path.isdir(FIXTURES_DIR):
+        return []
+    return sorted(
+        os.path.join(FIXTURES_DIR, name)
+        for name in os.listdir(FIXTURES_DIR)
+        if name.endswith(".json")
+    )
+
+
+def test_at_least_one_fixture_is_committed():
+    assert _fixture_paths(), "the exemplar divergence fixture is missing"
+
+
+@pytest.mark.parametrize(
+    "path", _fixture_paths(), ids=[os.path.basename(p) for p in _fixture_paths()]
+)
+class TestFixtureReplay:
+    def test_profiles_rebuild_from_seed_index_and_trace(self, path):
+        payload = json.loads(open(path).read())
+        scenario = ScenarioGenerator(payload["seed"]).generate(payload["index"])
+        # The recorded faults are part of the regenerated scenario too.
+        assert [fault_from_dict(entry) for entry in payload["faults"]] == list(
+            scenario.faults
+        )
+        profiles = tuple(
+            sorted(scenario.profiles, key=lambda profile: profile.name)
+        )
+        for op in payload["shrink_ops"]:
+            profiles = apply_shrink_op(profiles, tuple(op))
+        persisted = tuple(
+            SwitchingProfile.from_dict(entry) for entry in payload["profiles"]
+        )
+        assert profiles == persisted
+
+    def test_engines_agree_on_the_fixture_configuration(self, path):
+        payload = json.loads(open(path).read())
+        profiles = tuple(
+            SwitchingProfile.from_dict(entry) for entry in payload["profiles"]
+        )
+        if payload.get("explicit_budget") is not None:
+            budget = {
+                name: int(count)
+                for name, count in payload["explicit_budget"].items()
+                if name in {profile.name for profile in profiles}
+            }
+        else:
+            budget = instance_budgets(profiles)
+        outcomes = _explore_all(
+            profiles, budget, payload["engines"], payload["max_states"]
+        )
+        verdict, divergence = _compare(outcomes)
+        assert verdict == "ok", divergence

@@ -1,0 +1,73 @@
+"""Determinism and validity of the scenario generator."""
+
+from __future__ import annotations
+
+from repro.robustness import ScenarioGenerator
+from repro.robustness.faults import FAULT_KINDS
+from repro.scheduler.slot_system import SlotSystemConfig
+from repro.switching.profile import SwitchingProfile
+
+
+class TestDeterminism:
+    def test_same_seed_index_regenerates_identically(self):
+        first = ScenarioGenerator(42)
+        second = ScenarioGenerator(42)
+        for index in (0, 1, 7, 100, 12345):
+            assert first.generate(index).to_dict() == second.generate(index).to_dict()
+
+    def test_generation_order_is_irrelevant(self):
+        """Scenario ``i`` is a pure function of ``(seed, i)`` — no generator
+        state threads between indices, so any access order agrees."""
+        generator = ScenarioGenerator(9)
+        forward = [generator.generate(index).to_dict() for index in range(6)]
+        backward = [
+            ScenarioGenerator(9).generate(index).to_dict()
+            for index in reversed(range(6))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = ScenarioGenerator(1).generate(0).to_dict()
+        b = ScenarioGenerator(2).generate(0).to_dict()
+        assert a != b
+
+    def test_scenario_roundtrips_through_dict(self):
+        from repro.robustness.generator import Scenario
+
+        scenario = ScenarioGenerator(3).generate(5)
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt.to_dict() == scenario.to_dict()
+        assert rebuilt.profiles == scenario.profiles
+        assert rebuilt.faults == scenario.faults
+
+
+class TestValidity:
+    def test_corpus_profiles_are_valid_and_configs_build(self):
+        """Every generated (faulted) profile satisfies the SwitchingProfile
+        invariants — construction would raise otherwise — and assembles
+        into a slot-system config with its effective budget."""
+        for scenario in ScenarioGenerator(2026).corpus(40):
+            assert scenario.profiles
+            for profile in scenario.profiles:
+                assert isinstance(profile, SwitchingProfile)
+                assert profile.min_inter_arrival > profile.requirement_samples
+            budget = scenario.effective_budget()
+            assert set(budget) == {p.name for p in scenario.profiles}
+            assert all(count >= 1 for count in budget.values())
+            SlotSystemConfig.from_profiles(scenario.profiles, budget)
+
+    def test_corpus_covers_every_fault_kind(self):
+        seen = set()
+        for scenario in ScenarioGenerator(2026).corpus(120):
+            seen.update(scenario.fault_kinds)
+        assert seen == set(FAULT_KINDS)
+
+    def test_flexray_variants_are_valid(self):
+        """Every drawn FlexRay variant passes config validation (construction
+        raises otherwise) and records its one-sample-delay verdict."""
+        saw_ok = False
+        for scenario in ScenarioGenerator(11).corpus(30):
+            assert scenario.flexray.segments_length() <= scenario.flexray.cycle_length
+            assert len(scenario.messages) == len(scenario.base_profiles)
+            saw_ok = saw_ok or scenario.flexray_one_sample_ok
+        assert saw_ok

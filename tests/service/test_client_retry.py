@@ -1,0 +1,255 @@
+"""Client retry/backoff behavior against a deliberately flaky socket.
+
+A scripted Unix-socket server plays one action per incoming request —
+answer, answer with a retryable/fatal error, or slam the connection —
+so every retry path of :class:`ServiceClient` is exercised without a real
+verification server (and without real worker-pool failures).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import ServiceClient
+from repro.service.client import CODE_TRANSPORT
+from repro.service.protocol import CODE_WORKER_POOL
+
+
+class ScriptedServer:
+    """One scripted action per request: ``ok``, ``retryable``, ``fatal``,
+    ``close`` (drop the connection without answering); exhausted scripts
+    answer ``ok``."""
+
+    def __init__(self, socket_path: str, script) -> None:
+        self.socket_path = socket_path
+        self.script = list(script)
+        self.requests = []
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(socket_path)
+        self._listener.listen(8)
+        self._listener.settimeout(0.2)
+        self._stop = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop:
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with connection:
+                reader = connection.makefile("rb")
+                while not self._stop:
+                    line = reader.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    self.requests.append(request)
+                    action = self.script.pop(0) if self.script else "ok"
+                    if action == "close":
+                        # makefile() dups the fd — shut the connection down
+                        # explicitly so the client sees EOF immediately.
+                        reader.close()
+                        try:
+                            connection.shutdown(socket.SHUT_RDWR)
+                        except OSError:
+                            pass
+                        break
+                    if action == "ok":
+                        payload = {"ok": True, "pong": True}
+                    elif action == "retryable":
+                        payload = {
+                            "ok": False,
+                            "error": "worker pool died mid-request",
+                            "code": CODE_WORKER_POOL,
+                            "retryable": True,
+                        }
+                    else:  # fatal
+                        payload = {
+                            "ok": False,
+                            "error": "bad request",
+                            "code": "invalid-request",
+                            "retryable": False,
+                        }
+                    payload["id"] = request.get("id")
+                    connection.sendall((json.dumps(payload) + "\n").encode())
+
+    def close(self) -> None:
+        self._stop = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+
+
+@pytest.fixture()
+def scripted(tmp_path):
+    servers = []
+
+    def start(script):
+        server = ScriptedServer(str(tmp_path / "flaky.sock"), script)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+def _client(server, **kwargs) -> ServiceClient:
+    kwargs.setdefault("timeout", 5.0)
+    client = ServiceClient(server.socket_path, **kwargs)
+    client._sleep = lambda _delay: None  # tests never really wait
+    return client
+
+
+class TestRetryableResponses:
+    def test_retryable_errors_retry_until_success(self, scripted):
+        server = scripted(["retryable", "retryable", "ok"])
+        with _client(server, retries=3) as client:
+            assert client.ping()
+        assert len(server.requests) == 3
+
+    def test_fatal_errors_never_retry(self, scripted):
+        server = scripted(["fatal"])
+        with _client(server, retries=3) as client:
+            with pytest.raises(ServiceError) as caught:
+                client.ping()
+        assert caught.value.code == "invalid-request"
+        assert not caught.value.retryable
+        assert len(server.requests) == 1
+
+    def test_exhausted_retries_surface_the_retryable_error(self, scripted):
+        server = scripted(["retryable"] * 10)
+        with _client(server, retries=2) as client:
+            with pytest.raises(ServiceError) as caught:
+                client.ping()
+        assert caught.value.code == CODE_WORKER_POOL
+        assert caught.value.retryable
+        assert len(server.requests) == 3  # first try + 2 retries
+
+    def test_zero_retries_disables_the_layer(self, scripted):
+        server = scripted(["retryable", "ok"])
+        with _client(server, retries=0) as client:
+            with pytest.raises(ServiceError):
+                client.ping()
+        assert len(server.requests) == 1
+
+
+class TestTransportFlakiness:
+    def test_dropped_connection_reconnects_and_resends(self, scripted):
+        server = scripted(["close", "ok"])
+        with _client(server, retries=2) as client:
+            assert client.ping()
+        assert len(server.requests) == 2
+
+    def test_transport_errors_carry_the_transport_code(self, scripted):
+        server = scripted(["close"] * 5)
+        with _client(server, retries=1) as client:
+            with pytest.raises(ServiceError) as caught:
+                client.ping()
+        assert caught.value.code == CODE_TRANSPORT
+        assert caught.value.retryable
+
+    def test_connect_backoff_outlasts_a_late_server(self, scripted, tmp_path):
+        client = ServiceClient(
+            str(tmp_path / "flaky.sock"),
+            timeout=5.0,
+            retries=8,
+            backoff_base=0.02,
+            backoff_max=0.05,
+        )
+        timer = threading.Timer(0.15, lambda: scripted(["ok"]))
+        timer.start()
+        try:
+            assert client.ping()
+        finally:
+            timer.cancel()
+            client.close()
+
+    def test_connect_without_retries_fails_fast(self, tmp_path):
+        client = ServiceClient(str(tmp_path / "absent.sock"), retries=0)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.connect()
+
+
+class TestBackoffShape:
+    def test_delays_double_and_cap_with_bounded_jitter(self, scripted):
+        server = scripted(["retryable"] * 10)
+        client = ServiceClient(
+            server.socket_path,
+            timeout=5.0,
+            retries=4,
+            backoff_base=0.1,
+            backoff_max=0.25,
+            backoff_jitter=0.5,
+        )
+        slept = []
+        client._sleep = slept.append
+        with pytest.raises(ServiceError):
+            client.ping()
+        client.close()
+        assert len(slept) == 4
+        for attempt, delay in enumerate(slept, start=1):
+            base = min(0.25, 0.1 * (2 ** (attempt - 1)))
+            assert base <= delay <= base * 1.5
+
+    def test_jitter_stays_within_the_configured_fraction(self, scripted):
+        server = scripted(["retryable"] * 3)
+        client = ServiceClient(
+            server.socket_path,
+            timeout=5.0,
+            retries=2,
+            backoff_base=0.01,
+            backoff_jitter=0.0,
+        )
+        slept = []
+        client._sleep = slept.append
+        with pytest.raises(ServiceError):
+            client.ping()
+        client.close()
+        assert slept == [0.01, 0.02]
+
+
+class TestShutdownAndDeadlines:
+    def test_shutdown_is_never_retried(self, scripted):
+        server = scripted(["retryable", "ok"])
+        with _client(server, retries=5) as client:
+            with pytest.raises(ServiceError):
+                client.shutdown()
+        assert len(server.requests) == 1
+
+    def test_per_operation_deadline_overrides_socket_timeout(self, tmp_path):
+        # A bound-but-silent socket: connects succeed (backlog), responses
+        # never come, so only the per-operation deadline can unblock us.
+        silent = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        silent_path = str(tmp_path / "silent.sock")
+        silent.bind(silent_path)
+        silent.listen(1)
+        client = ServiceClient(silent_path, timeout=30.0, retries=0)
+        try:
+            began = time.monotonic()
+            with pytest.raises(ServiceError, match="transport"):
+                client.request("ping", deadline=0.2)
+            elapsed = time.monotonic() - began
+            assert elapsed < 5.0  # the 30 s client timeout did not apply
+        finally:
+            client.close()
+            silent.close()
+
+    def test_deadline_restores_the_client_timeout(self, scripted):
+        server = scripted(["ok", "ok"])
+        with _client(server, retries=0) as client:
+            assert client.ping(deadline=2.0)
+            assert client._socket.gettimeout() == client.timeout
+            assert client.ping()

@@ -1,0 +1,157 @@
+"""Worker-pool death: the server degrades gracefully, the client masks it.
+
+A SIGKILLed pool worker breaks the whole fork-context
+:class:`ProcessPoolExecutor` — every pending future and every later submit
+raises :class:`BrokenProcessPool`.  The server must translate that into a
+*retryable* structured error, rebuild the pool, and keep the single-flight
+map un-poisoned so an identical retry compiles fresh instead of awaiting a
+corpse.  With client retries on, a worker death mid-campaign is therefore
+invisible end-to-end.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.casestudy.profiles import paper_profiles
+from repro.exceptions import ServiceError
+from repro.service import ServiceClient, VerificationService
+from repro.service.protocol import CODE_WORKER_POOL
+
+#: Cold compile of ~145k states: a couple hundred milliseconds in the
+#: worker — a wide-open window to land a SIGKILL mid-compile.
+SLOW_NAMES = ("C1", "C5", "C4", "C3")
+
+
+def _profiles(names=SLOW_NAMES):
+    return list(paper_profiles(names).values())
+
+
+@pytest.fixture()
+def server(tmp_path):
+    socket_path = str(tmp_path / "repro.sock")
+    service = VerificationService(
+        socket_path, store_dir=str(tmp_path / "store"), workers=2
+    )
+    thread = threading.Thread(target=service.run, daemon=True)
+    thread.start()
+    for _ in range(500):
+        if os.path.exists(socket_path):
+            break
+        time.sleep(0.01)
+    else:
+        raise RuntimeError("service socket never appeared")
+    yield service
+    try:
+        with ServiceClient(socket_path, timeout=10.0) as client:
+            client.shutdown()
+    except ServiceError:
+        pass
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def _kill_one_worker_mid_request(server, timeout=10.0):
+    """Wait until a request is in flight on a live worker, then SIGKILL it.
+
+    Returns the killed pid.  The fork pool spawns workers lazily on first
+    submit, so both conditions are polled together.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        executor = server._executor
+        processes = dict(executor._processes) if executor is not None else {}
+        if server._inflight and processes:
+            victim = next(iter(processes))
+            os.kill(victim, signal.SIGKILL)
+            return victim
+        time.sleep(0.001)
+    raise RuntimeError("no in-flight request on a live worker within timeout")
+
+
+class TestGracefulDegradation:
+    def test_worker_kill_mid_cold_compile(self, server, tmp_path):
+        """Killed worker → structured retryable error, pool rebuilt, the
+        identical request succeeds on the new pool."""
+        profiles = _profiles()
+        caught = []
+
+        def send():
+            with ServiceClient(server.socket_path, timeout=60.0, retries=0) as client:
+                try:
+                    client.verify(profiles)
+                except ServiceError as error:
+                    caught.append(error)
+
+        requester = threading.Thread(target=send)
+        requester.start()
+        _kill_one_worker_mid_request(server)
+        requester.join(timeout=60)
+        assert not requester.is_alive()
+
+        (error,) = caught
+        assert error.code == CODE_WORKER_POOL
+        assert error.retryable
+        assert server.stats["pool_rebuilds"] == 1
+        # The single-flight map must not have been poisoned by the dead
+        # future: the same request compiles fresh and succeeds.
+        assert not server._inflight
+        with ServiceClient(server.socket_path, timeout=60.0, retries=0) as client:
+            result = client.verify(profiles)
+        assert result.feasible
+        assert result.explored_states == 145_373
+
+    def test_retry_masks_worker_death_under_load(self, server):
+        """Loadgen-style: several clients, distinct cold compiles, one
+        worker SIGKILLed mid-flight — retries make every request succeed."""
+        base = _profiles(("C1", "C5", "C4"))
+        failures = []
+        results = []
+
+        def drive(worker_index):
+            try:
+                with ServiceClient(
+                    server.socket_path,
+                    timeout=60.0,
+                    retries=4,
+                    backoff_base=0.01,
+                    backoff_max=0.1,
+                ) as client:
+                    for shot in range(3):
+                        # Distinct explicit budgets + max_states give every
+                        # request its own single-flight key (distinct
+                        # fingerprints and compile costs).
+                        budget = 1 + (worker_index + shot) % 3
+                        ok = client.admit(
+                            base,
+                            instance_budget={
+                                profile.name: budget for profile in base
+                            },
+                            max_states=600_000 + worker_index,
+                        )
+                        results.append((worker_index, shot, ok))
+            except Exception as error:  # noqa: BLE001 - recorded for assert
+                failures.append((worker_index, error))
+
+        drivers = [
+            threading.Thread(target=drive, args=(index,)) for index in range(3)
+        ]
+        for driver in drivers:
+            driver.start()
+        _kill_one_worker_mid_request(server)
+        for driver in drivers:
+            driver.join(timeout=120)
+            assert not driver.is_alive()
+
+        assert failures == []
+        assert len(results) == 9
+        assert all(ok for _, _, ok in results)
+        assert server.stats["pool_rebuilds"] >= 1
+        # The rebuilt pool is the steady state: the server still serves.
+        with ServiceClient(server.socket_path, timeout=10.0) as client:
+            assert client.ping()

@@ -1,0 +1,132 @@
+"""Crash-safety of the graph store: debris left by a killed process must
+be swept or broken on the *next* access, never poison later work.
+
+Two kinds of debris exist:
+
+* **Interrupted publishes** — ``graph-<fp>.npz.tmp-<pid>-<n>`` staging
+  files whose writer died between :func:`tempfile.mkstemp` and the atomic
+  rename.  The next :meth:`GraphStore.evict` pass (runs on every publish)
+  deletes them once they are older than the claim timeout.
+* **Stale compile claims** — ``graph-<fp>.npz.lock`` files whose holder
+  was SIGKILLed mid-compile.  Claims record the holder pid; a claim whose
+  holder is provably dead is broken *immediately* by :meth:`claim` and
+  makes :meth:`wait_for` return without stalling for the timeout, so a
+  retried request after a worker-pool death recompiles at full speed.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+
+import pytest
+
+from repro.verification import GraphStore, config_fingerprint
+from repro.verification.store import DEFAULT_CLAIM_TIMEOUT
+
+
+@pytest.fixture()
+def store(tmp_path) -> GraphStore:
+    return GraphStore(str(tmp_path))
+
+
+def _dead_pid() -> int:
+    """A pid that provably does not exist right now."""
+    pid = os.fork()
+    if pid == 0:  # pragma: no cover - child exits immediately
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return pid
+
+
+# --------------------------------------------------- interrupted publishes
+class TestInterruptedPublishSweep:
+    def _plant_temp(self, store, age_seconds):
+        path = os.path.join(store.directory, "graph-" + "a" * 64 + ".npz.tmp-999-0")
+        with open(path, "wb") as handle:
+            handle.write(b"partial npz payload")
+        stamp = time.time() - age_seconds
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_old_temp_file_is_swept(self, store, caplog):
+        path = self._plant_temp(store, 2 * DEFAULT_CLAIM_TIMEOUT)
+        with caplog.at_level(logging.WARNING, logger="repro.verification.store"):
+            store.evict()
+        assert not os.path.exists(path)
+        assert any("interrupted publish" in record.message for record in caplog.records)
+
+    def test_fresh_temp_file_is_left_alone(self, store):
+        """A live publisher stages for milliseconds — but clock skew or a
+        slow disk must not make eviction race an in-flight rename."""
+        path = self._plant_temp(store, age_seconds=0.0)
+        store.evict()
+        assert os.path.exists(path)
+
+    def test_sweep_runs_without_a_byte_budget(self, store):
+        # evict() returns early when no budget is configured; the debris
+        # sweep must still have happened by then.
+        assert store.budget_bytes() is None
+        path = self._plant_temp(store, 2 * DEFAULT_CLAIM_TIMEOUT)
+        assert store.evict() == []
+        assert not os.path.exists(path)
+
+
+# ------------------------------------------------------------ stale claims
+class TestDeadHolderClaims:
+    FP = "b" * 64
+
+    def _plant_claim(self, store, pid) -> str:
+        path = store.claim_path(self.FP)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"{pid}\n")
+        return path
+
+    def test_dead_holder_claim_is_broken_immediately(self, store, caplog):
+        self._plant_claim(store, _dead_pid())
+        with caplog.at_level(logging.WARNING, logger="repro.verification.store"):
+            taken = store.claim(self.FP)
+        assert taken is not None and taken.locked
+        assert any("holder is dead" in record.message for record in caplog.records)
+        taken.release()
+
+    def test_live_holder_claim_is_respected(self, store):
+        # Our own pid is alive, the claim is fresh: the caller must wait.
+        self._plant_claim(store, os.getpid())
+        assert store.claim(self.FP) is None
+
+    def test_unreadable_claim_falls_back_to_the_age_rule(self, store):
+        path = self._plant_claim(store, "not-a-pid")
+        assert store.claim(self.FP) is None  # fresh: respected
+        stale = time.time() - 2 * DEFAULT_CLAIM_TIMEOUT
+        os.utime(path, (stale, stale))
+        taken = store.claim(self.FP)
+        assert taken is not None and taken.locked
+        taken.release()
+
+    def test_wait_for_returns_promptly_when_the_holder_dies(self, store):
+        self._plant_claim(store, _dead_pid())
+        began = time.monotonic()
+        # Default timeout is DEFAULT_CLAIM_TIMEOUT (120 s): only the
+        # liveness check can return this fast.
+        assert not store.wait_for(self.FP)
+        assert time.monotonic() - began < 5.0
+
+    def test_wait_for_reports_a_publish_even_with_a_dead_claim(
+        self, store, small_profile
+    ):
+        from repro.scheduler.packed import PackedSlotSystem
+        from repro.scheduler.slot_system import SlotSystemConfig
+        from repro.verification.kernel import CompiledStateGraph
+
+        config = SlotSystemConfig.from_profiles((small_profile,))
+        system = PackedSlotSystem(config)
+        system.compiled_graph = CompiledStateGraph(system)
+        system.compiled_graph.explore(5_000_000, False)
+        store.publish(system)
+        fingerprint = config_fingerprint(config)
+        claim_path = store.claim_path(fingerprint)
+        with open(claim_path, "w", encoding="utf-8") as handle:
+            handle.write(f"{_dead_pid()}\n")
+        assert store.wait_for(fingerprint, timeout=1.0)
