@@ -14,7 +14,7 @@
 #                    committed baseline was recorded on a different host).
 #   BENCH_GROUPS     space-separated benchmark groups to gate on
 #                    (default: "verification engines kernel expansion dedupe
-#                    delta service").
+#                    delta service spec").
 #   BENCH_JSON       where to write the fresh export (default: a temp file).
 #   BENCH_REPORT     optional path for bench_compare's --json-out summary
 #                    (uploaded as a CI artifact).
@@ -33,7 +33,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 BASELINE="benchmarks/baselines/baseline.json"
 THRESHOLD="${BENCH_THRESHOLD:-0.35}"
 # (Not named GROUPS: that is a readonly bash builtin.)
-GATE_GROUPS=(${BENCH_GROUPS:-verification engines kernel expansion dedupe delta service})
+GATE_GROUPS=(${BENCH_GROUPS:-verification engines kernel expansion dedupe delta service spec})
 CURRENT="${BENCH_JSON:-$(mktemp /tmp/bench-current.XXXXXX.json)}"
 
 if [[ ! -f "$BASELINE" ]]; then

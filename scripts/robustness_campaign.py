@@ -70,6 +70,11 @@ def main() -> int:
         action="store_true",
         help="report divergences without shrinking/persisting fixtures",
     )
+    parser.add_argument(
+        "--specs",
+        action="store_true",
+        help="evaluate the standard temporal-spec bundle on every scenario",
+    )
     parser.add_argument("--json-out", default=None, help="write campaign JSON here")
     parser.add_argument(
         "--progress-every",
@@ -101,6 +106,7 @@ def main() -> int:
         delta_every=args.delta_every,
         fixtures_dir=None if args.no_fixtures else args.fixtures_dir,
         progress=progress,
+        specs=args.specs,
     )
     elapsed = time.perf_counter() - began
     summary = result.summary()
@@ -115,6 +121,14 @@ def main() -> int:
     throughput = summary["throughput"]
     print(f"  throughput: p50 {throughput['p50_states_per_second']:.0f} states/s, "
           f"p99 {throughput['p99_states_per_second']:.0f} states/s")
+    spec_counts = summary.get("spec_verdicts") or {}
+    if spec_counts:
+        print("  spec verdicts (holds/violated/undecided):")
+        for family, bucket in spec_counts.items():
+            print(
+                f"    {family}: {bucket['holds']}/{bucket['violated']}"
+                f"/{bucket['undecided']}"
+            )
     print(f"  wall time {elapsed:.1f}s")
     for report in result.divergences:
         print(f"  DIVERGENCE index={report.index}: {report.divergence}")
@@ -142,6 +156,17 @@ def main() -> int:
                 f"states/s, p99 {throughput['p99_states_per_second']:.0f} "
                 f"states/s\n"
             )
+            if spec_counts:
+                handle.write(
+                    "\n### Temporal-spec verdicts\n\n"
+                    "| spec family | holds | violated | undecided |\n"
+                    "| --- | ---: | ---: | ---: |\n"
+                )
+                for family, bucket in spec_counts.items():
+                    handle.write(
+                        f"| `{family}` | {bucket['holds']} | "
+                        f"{bucket['violated']} | {bucket['undecided']} |\n"
+                    )
 
     return 1 if result.divergences else 0
 

@@ -40,6 +40,12 @@ class VerificationError(ReproError):
     """The model checker or verification front-end failed."""
 
 
+class SpecError(VerificationError):
+    """A temporal-logic specification is malformed or cannot be evaluated
+    (parse error, unknown application name, misplaced bounded-``eventually``,
+    or a liveness query against a graph that was never fully explored)."""
+
+
 class ModelError(ReproError):
     """A timed automaton or automata network is ill-formed."""
 

@@ -44,8 +44,15 @@ from ..scheduler.packed import clear_packed_caches, packed_system_for
 from ..scheduler.slot_system import SlotSystemConfig
 from ..switching.profile import SwitchingProfile
 from ..verification.acceleration import instance_budgets
-from ..verification.engine import ExplorationOutcome, PackedStateSource, resolve_engine
+from ..verification.engine import (
+    CompiledKernelEngine,
+    ExplorationOutcome,
+    PackedStateSource,
+    resolve_engine,
+)
 from ..verification.exhaustive import verify_slot_sharing
+from ..verification.spec import standard_spec_bundle
+from ..verification.spec_eval import evaluate_specs
 from .generator import Scenario, ScenarioGenerator
 
 __all__ = [
@@ -87,6 +94,9 @@ class ScenarioReport:
     states_per_second: float = 0.0
     delta_checked: bool = False
     fixture_path: Optional[str] = None
+    #: Per-spec verdicts of the standard temporal bundle (``--specs`` runs):
+    #: spec name -> True (holds) / False (violated) / None (undecided).
+    spec_verdicts: Dict[str, Optional[bool]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -103,6 +113,7 @@ class ScenarioReport:
             "states_per_second": self.states_per_second,
             "delta_checked": self.delta_checked,
             "fixture_path": self.fixture_path,
+            "spec_verdicts": dict(self.spec_verdicts),
         }
 
 
@@ -153,7 +164,27 @@ class CampaignResult:
             "p99_states_per_second": percentile(0.99),
         }
 
+    def spec_verdict_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per spec-family verdict counts across the corpus.
+
+        Per-application spec names (``grant-response(C1)``) collapse onto
+        their family (``grant-response``); each family counts how many
+        evaluated specs hold, are violated, or are undecided.
+        """
+        counts: Dict[str, Dict[str, int]] = {}
+        for report in self.reports:
+            for name, holds in report.spec_verdicts.items():
+                family = name.split("(", 1)[0]
+                bucket = counts.setdefault(
+                    family, {"holds": 0, "violated": 0, "undecided": 0}
+                )
+                key = "undecided" if holds is None else ("holds" if holds else "violated")
+                bucket[key] += 1
+        return dict(sorted(counts.items()))
+
     def summary(self) -> Dict[str, object]:
+        spec_counts = self.spec_verdict_counts()
+        extra: Dict[str, object] = {"spec_verdicts": spec_counts} if spec_counts else {}
         return {
             "seed": self.seed,
             "start": self.start,
@@ -172,6 +203,7 @@ class CampaignResult:
             "total_elapsed_seconds": sum(
                 report.elapsed_seconds for report in self.reports
             ),
+            **extra,
         }
 
     def to_dict(self) -> Dict[str, object]:
@@ -414,6 +446,7 @@ def run_campaign(
     divergence_hook: Optional[Callable[..., Optional[str]]] = None,
     fixtures_dir: Optional[str] = None,
     progress: Optional[Callable[[ScenarioReport], None]] = None,
+    specs: bool = False,
 ) -> CampaignResult:
     """Sweep ``count`` scenarios and differential-check every one.
 
@@ -435,6 +468,10 @@ def run_campaign(
         fixtures_dir: when given, every divergence is shrunk and persisted
             there as a JSON reproducer fixture.
         progress: optional per-scenario callback (the CLI's ticker).
+        specs: additionally evaluate the standard temporal-spec bundle
+            (:func:`~repro.verification.spec.standard_spec_bundle`) on each
+            non-skipped scenario's compiled graph; per-spec verdicts land on
+            the reports and aggregate in the summary.
     """
     import tempfile
 
@@ -457,6 +494,7 @@ def run_campaign(
                     delta_every,
                     divergence_hook,
                     store_dir,
+                    specs,
                 )
             finally:
                 # Per-scenario hygiene: drop successor memos, compiled
@@ -489,6 +527,7 @@ def _run_scenario(
     delta_every: int,
     divergence_hook,
     store_dir: str,
+    specs: bool = False,
 ) -> ScenarioReport:
     profiles = scenario.profiles
     budget = scenario.effective_budget()
@@ -511,6 +550,8 @@ def _run_scenario(
         levels={name: outcome.levels for name, outcome in outcomes.items()},
         divergence=divergence,
     )
+    if specs and verdict != "skipped":
+        report.spec_verdicts = _scenario_spec_verdicts(profiles, budget, max_states)
     if (
         verdict == "ok"
         and delta_every
@@ -523,6 +564,34 @@ def _run_scenario(
             report.verdict = "divergence"
             report.divergence = delta_divergence
     return report
+
+
+def _scenario_spec_verdicts(
+    profiles: Sequence[SwitchingProfile],
+    budget: Dict[str, int],
+    max_states: int,
+) -> Dict[str, Optional[bool]]:
+    """Standard-bundle verdicts on the scenario's compiled graph.
+
+    ``_explore_all`` already compiled the graph when ``kernel`` was among
+    the engines, so this usually replays warm; otherwise (or after a
+    truncated kernel pass) it compiles once here.  Scenarios whose graph
+    cannot be completed within ``max_states`` report every spec undecided.
+    """
+    config = SlotSystemConfig.from_profiles(profiles, budget)
+    system = packed_system_for(config)
+    graph = system.compiled_graph
+    if graph is None or not (graph.complete or graph.error is not None):
+        CompiledKernelEngine().explore(
+            PackedStateSource(system), max_states, with_parents=False
+        )
+        graph = system.compiled_graph
+    bundle = standard_spec_bundle(profiles)
+    if graph is None or not (graph.complete or graph.error is not None):
+        return {spec.name: None for spec in bundle}
+    return {
+        verdict.name: verdict.holds for verdict in evaluate_specs(graph, bundle)
+    }
 
 
 def _persist_divergence(

@@ -301,6 +301,47 @@ class ServiceClient:
         )
         return result_from_wire(response["result"])
 
+    def check(
+        self,
+        profiles: Sequence[SwitchingProfile],
+        specs,
+        use_acceleration: bool = True,
+        instance_budget: Optional[Mapping[str, int]] = None,
+        max_states: Optional[int] = None,
+        parent_profiles: Optional[Sequence[SwitchingProfile]] = None,
+        deadline: Optional[float] = None,
+    ) -> List["SpecVerdict"]:
+        """Evaluate temporal specs server-side; verdicts in request order.
+
+        ``specs`` accepts a single spec or a list, each entry a source
+        string, a parsed :class:`~repro.verification.spec.Spec` or its
+        ``to_dict`` form.  Raises :class:`~repro.exceptions.ServiceError`
+        with code ``invalid-spec`` for unparseable specs and
+        ``exploration-truncated`` when the graph cannot be fully explored
+        within ``max_states``.
+        """
+        from ..verification.spec import Spec
+        from ..verification.spec_eval import SpecVerdict
+
+        if isinstance(specs, (str, Spec, Mapping)):
+            specs = [specs]
+        wire_specs = [
+            spec.to_dict() if isinstance(spec, Spec) else spec for spec in specs
+        ]
+        response = self.request(
+            "check",
+            deadline=deadline,
+            **self._verify_fields(
+                profiles,
+                use_acceleration,
+                instance_budget,
+                max_states,
+                parent_profiles,
+            ),
+            specs=wire_specs,
+        )
+        return [SpecVerdict.from_dict(entry) for entry in response["verdicts"]]
+
     def first_fit(
         self,
         profiles: Sequence[SwitchingProfile],

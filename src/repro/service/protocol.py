@@ -39,6 +39,17 @@ Operations:
     already-verified contents so cold compiles delta-warm-start.
 ``counterexample``
     ``verify`` with the witness always requested and minimized by default.
+``check``
+    Evaluate temporal-logic specs on the compiled graph of one slot
+    configuration.  Fields: ``profiles`` / ``use_acceleration`` /
+    ``instance_budget`` / ``max_states`` as for ``verify``, plus ``specs``
+    (required): a spec source string, a ``spec_to_dict`` object, or a list
+    mixing both.  Warm graphs (memory or store tier) answer inline in the
+    event loop; a cold configuration compiles through the same
+    single-flight path as ``verify`` first.  Responds with ``tier``,
+    ``feasible`` and ``verdicts`` — one serialized
+    :class:`~repro.verification.spec_eval.SpecVerdict` per spec, in
+    request order.
 ``first_fit``
     Dimension a full application set: ``profiles`` (required), ``order``
     (optional explicit consideration order).  Responds with the slot
@@ -66,8 +77,17 @@ retry makes sense; ``retryable`` is the server's own judgement (always
 ``code in RETRYABLE_CODES``):
 
 ``invalid-request``
-    Malformed or semantically invalid request (bad profiles, unknown op).
-    Never retryable: an identical resend fails identically.
+    Malformed or semantically invalid request (bad profiles, unknown op,
+    oversized wire line).  Never retryable: an identical resend fails
+    identically.
+``invalid-spec``
+    A ``check`` request carried a spec that does not parse, names an
+    application absent from the configuration, or places a bounded
+    ``eventually`` outside ``always (... implies ...)``.  Never retryable.
+``exploration-truncated``
+    A ``check`` hit the ``max_states`` cap before the graph was fully
+    explored; temporal verdicts need the complete graph.  Not retryable as
+    sent — resend with a larger ``max_states``.
 ``worker-pool-failure``
     The cold-compile worker pool died mid-request (a worker was OOM-killed
     or crashed).  Retryable: the server rebuilds the pool, so a resend of
@@ -92,6 +112,8 @@ __all__ = [
     "CODE_INTERNAL",
     "CODE_INVALID",
     "CODE_SHUTTING_DOWN",
+    "CODE_SPEC",
+    "CODE_TRUNCATED",
     "CODE_WORKER_POOL",
     "RETRYABLE_CODES",
     "SOCKET_ENV_VAR",
@@ -111,6 +133,8 @@ SOCKET_ENV_VAR = "REPRO_SERVICE_SOCKET"
 
 #: Machine-readable error codes (see the module docstring).
 CODE_INVALID = "invalid-request"
+CODE_SPEC = "invalid-spec"
+CODE_TRUNCATED = "exploration-truncated"
 CODE_WORKER_POOL = "worker-pool-failure"
 CODE_SHUTTING_DOWN = "shutting-down"
 CODE_INTERNAL = "internal"

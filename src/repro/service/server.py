@@ -39,14 +39,18 @@ from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Dict, Optional
 
-from ..exceptions import ServiceError
+from ..exceptions import ServiceError, SpecError
 from ..scheduler.packed import packed_system_for
 from ..scheduler.slot_system import SlotSystemConfig
 from ..verification.exhaustive import DEFAULT_MAX_STATES, verify_slot_sharing
 from ..verification.kernel import config_fingerprint
+from ..verification.spec import specs_from_wire
+from ..verification.spec_eval import evaluate_specs
 from ..verification.store import store_for
 from .protocol import (
     CODE_SHUTTING_DOWN,
+    CODE_SPEC,
+    CODE_TRUNCATED,
     CODE_WORKER_POOL,
     MAX_LINE_BYTES,
     budget_from_wire,
@@ -152,6 +156,7 @@ class VerificationService:
             "store_hits": 0,
             "compiles": 0,
             "coalesced": 0,
+            "spec_checks": 0,
             "errors": 0,
             "pool_rebuilds": 0,
         }
@@ -228,8 +233,13 @@ class VerificationService:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
+                    # Structured like every other failure: code + retryable,
+                    # so a mechanical client treats the oversized line as the
+                    # permanent invalid-request it is.
                     writer.write(
-                        encode_message({"ok": False, "error": "request line too long"})
+                        encode_message(
+                            error_response(ServiceError("request line too long"))
+                        )
                     )
                     await writer.drain()
                     break
@@ -288,6 +298,8 @@ class VerificationService:
             request["with_counterexample"] = True
             request.setdefault("minimize", True)
             return await self._verify(request, admit_only=False)
+        if operation == "check":
+            return await self._check(request)
         if operation == "first_fit":
             return await self._first_fit(request)
         if operation == "batch":
@@ -339,6 +351,51 @@ class VerificationService:
             }
         response: Dict[str, Any] = {"ok": True, "tier": tier, "result": wire}
         return response
+
+    # -------------------------------------------------------------- check op
+    async def _check(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Evaluate temporal specs on the compiled graph of a configuration.
+
+        Warm graphs answer inline — spec evaluation is label propagation
+        over the frozen CSR arrays, the same microsecond-class work as a
+        warm replay.  A cold configuration compiles through the verify
+        single-flight first (so concurrent verify/check requests for the
+        same fingerprint coalesce onto one compile), then evaluates against
+        the freshly published graph.
+        """
+        profiles, budget, config, fingerprint = self._parse_config(request)
+        max_states = int(request.get("max_states") or self.max_states)
+        if "specs" not in request:
+            raise ServiceError("'specs' is required for check requests")
+        try:
+            specs = specs_from_wire(request["specs"])
+        except SpecError as error:
+            raise ServiceError(str(error), code=CODE_SPEC) from error
+
+        tier = self._warm_tier(config, fingerprint)
+        if tier is None:
+            await self._cold_verify(request, budget, fingerprint, max_states)
+            tier = "cold"
+            self._warm_tier(config, fingerprint)  # pull the published graph
+        graph = packed_system_for(config).compiled_graph
+        if graph is None or not (graph.complete or graph.error is not None):
+            raise ServiceError(
+                f"exploration hit max_states={max_states} before the graph was "
+                "complete; temporal verdicts need the fully explored graph — "
+                "resend with a larger max_states",
+                code=CODE_TRUNCATED,
+            )
+        try:
+            verdicts = evaluate_specs(graph, specs)
+        except SpecError as error:
+            raise ServiceError(str(error), code=CODE_SPEC) from error
+        self.stats["spec_checks"] += 1
+        return {
+            "ok": True,
+            "tier": tier,
+            "feasible": graph.error is None and graph.complete,
+            "verdicts": [verdict.to_dict() for verdict in verdicts],
+        }
 
     _PARSE_CACHE_SIZE = 256
 

@@ -90,6 +90,16 @@ from .kernel import (
     save_graph,
 )
 from .result import CounterexampleStep, VerificationResult, replay_counterexample
+from .spec import (
+    Spec,
+    format_spec,
+    parse_spec,
+    spec_from_dict,
+    spec_to_dict,
+    specs_from_wire,
+    standard_spec_bundle,
+)
+from .spec_eval import ReferenceChecker, SpecVerdict, evaluate_spec, evaluate_specs
 from .store import STORE_BYTES_ENV_VAR, GraphStore, GraphStoreClaim, store_for
 
 __all__ = [
@@ -137,4 +147,15 @@ __all__ = [
     "GraphStoreClaim",
     "store_for",
     "STORE_BYTES_ENV_VAR",
+    "Spec",
+    "SpecVerdict",
+    "ReferenceChecker",
+    "parse_spec",
+    "format_spec",
+    "spec_to_dict",
+    "spec_from_dict",
+    "specs_from_wire",
+    "standard_spec_bundle",
+    "evaluate_spec",
+    "evaluate_specs",
 ]

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import replace
 from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import VerificationError
@@ -132,7 +133,10 @@ class ExhaustiveVerifier:
 
     # ----------------------------------------------------------------- search
     def verify(
-        self, with_counterexample: bool = True, minimize: bool = False
+        self,
+        with_counterexample: bool = True,
+        minimize: bool = False,
+        specs=None,
     ) -> VerificationResult:
         """Run the reachability analysis.
 
@@ -142,6 +146,11 @@ class ExhaustiveVerifier:
                 pattern (costs memory on large state spaces).
             minimize: trim stutter steps from the counterexample trace (see
                 :meth:`repro.verification.result.VerificationResult.minimize`).
+            specs: optional temporal specs (source strings, wire dicts or
+                :class:`~repro.verification.spec.Spec` objects) to check on
+                the same compiled graph; their
+                :class:`~repro.verification.spec_eval.SpecVerdict` objects
+                land in ``result.spec_verdicts``.  See :meth:`check_specs`.
 
         Returns:
             The :class:`VerificationResult`.
@@ -211,7 +220,48 @@ class ExhaustiveVerifier:
                 else "level-synchronous"
             ),
         )
+        if specs:
+            result = replace(result, spec_verdicts=self.check_specs(specs))
         return result.minimize() if minimize else result
+
+    # ---------------------------------------------------------------- specs
+    def check_specs(self, specs) -> Tuple:
+        """Check temporal specs against this configuration's compiled graph.
+
+        One compile, many properties: the first call (or a preceding
+        ``engine="kernel"`` :meth:`verify`) compiles the graph; every
+        further spec batch evaluates on the frozen CSR arrays without
+        re-exploring a single state.
+
+        Args:
+            specs: spec source strings, wire dicts,
+                :class:`~repro.verification.spec.Spec` objects, or any mix
+                (a single spec needs no wrapping list).
+
+        Returns:
+            One :class:`~repro.verification.spec_eval.SpecVerdict` per
+            spec, in order.
+        """
+        from .spec import specs_from_wire
+        from .spec_eval import evaluate_specs
+
+        parsed = specs_from_wire(specs)
+        return tuple(evaluate_specs(self._ensure_compiled_graph(), parsed))
+
+    def _ensure_compiled_graph(self):
+        """The configuration's compiled graph, compiling it if needed."""
+        graph = self.packed.compiled_graph
+        if graph is None or not (graph.complete or graph.error is not None):
+            engine = CompiledKernelEngine()
+            engine.explore(
+                PackedStateSource(self.packed),
+                max_states=self.max_states,
+                with_parents=False,
+            )
+            if self.graph_dir:
+                maybe_save_graph(self.packed, self.graph_dir)
+            graph = self.packed.compiled_graph
+        return graph
 
     # ------------------------------------------------------------- internals
     def _compile_claim(self, engine):
@@ -296,12 +346,15 @@ def verify_slot_sharing(
     graph_dir: Optional[str] = None,
     parent_profiles: Optional[Sequence[SwitchingProfile]] = None,
     parent_instance_budget: Optional[Mapping[str, int]] = None,
+    specs=None,
 ) -> VerificationResult:
     """Verify that the given applications can safely share one TT slot.
 
     Convenience wrapper around :class:`ExhaustiveVerifier`; pass
     ``parent_profiles`` (and the budgets they were verified with) to
-    delta-warm-start from the parent configuration's compiled graph.
+    delta-warm-start from the parent configuration's compiled graph, and
+    ``specs`` to additionally check temporal properties on the compiled
+    graph (``result.spec_verdicts``).
     """
     verifier = ExhaustiveVerifier(
         profiles,
@@ -312,4 +365,6 @@ def verify_slot_sharing(
         parent_profiles=parent_profiles,
         parent_instance_budget=parent_instance_budget,
     )
-    return verifier.verify(with_counterexample=with_counterexample, minimize=minimize)
+    return verifier.verify(
+        with_counterexample=with_counterexample, minimize=minimize, specs=specs
+    )

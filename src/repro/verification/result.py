@@ -66,6 +66,10 @@ class VerificationResult:
             at the first error transition in discovery order, so its count
             on infeasible runs can be smaller.  Verdict, witness depth and
             feasible-run counts never depend on this.
+        spec_verdicts: per-spec
+            :class:`~repro.verification.spec_eval.SpecVerdict` objects when
+            the verification was asked to check temporal specs
+            (``specs=...``) on the same compiled graph; empty otherwise.
     """
 
     feasible: bool
@@ -77,6 +81,7 @@ class VerificationResult:
     instance_budget: Tuple[Tuple[str, int], ...] = ()
     truncated: bool = False
     count_semantics: str = "level-synchronous"
+    spec_verdicts: Tuple = ()
 
     def __bool__(self) -> bool:
         return self.feasible

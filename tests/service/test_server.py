@@ -235,3 +235,94 @@ class TestBatchOp:
     def test_nested_batch_rejected(self, client):
         with pytest.raises(ServiceError, match="nest"):
             client.batch([{"op": "batch", "requests": []}])
+
+
+class TestCheckOp:
+    SPECS = [
+        "always not missed",
+        "reachable occupant(B)",
+        "always (waiting(A) implies eventually <= 5 holding(A))",
+    ]
+
+    def test_check_matches_direct_evaluation(
+        self, client, small_profile, second_small_profile
+    ):
+        from repro.scheduler.packed import packed_system_for
+        from repro.scheduler.slot_system import SlotSystemConfig
+        from repro.verification import evaluate_specs, specs_from_wire
+
+        profiles = [small_profile, second_small_profile]
+        served = client.check(profiles, self.SPECS)
+
+        budget = instance_budgets(profiles)
+        verify_slot_sharing(profiles, instance_budget=budget, engine="kernel")
+        config = SlotSystemConfig.from_profiles(profiles, budget)
+        graph = packed_system_for(config).compiled_graph
+        direct = evaluate_specs(graph, specs_from_wire(self.SPECS))
+        assert [v.holds for v in served] == [v.holds for v in direct]
+        assert [v.witness for v in served] == [v.witness for v in direct]
+
+    def test_check_warms_up_and_counts(
+        self, client, server, small_profile, second_small_profile
+    ):
+        profiles = [small_profile, second_small_profile]
+        client.check(profiles, self.SPECS)  # cold: one compile
+        before = dict(server.stats)
+        client.check(profiles, "eventually not steady(A)")  # warm replay
+        after = dict(server.stats)
+        assert after["compiles"] == before["compiles"]  # no second compile
+        assert after["spec_checks"] == before["spec_checks"] + 1
+
+    def test_invalid_spec_is_structured_and_final(
+        self, client, small_profile, second_small_profile
+    ):
+        profiles = [small_profile, second_small_profile]
+        for bad in ("always frobnicate", "always occupant(ZZZ)",
+                    "always eventually <= 3 idle"):
+            with pytest.raises(ServiceError) as caught:
+                client.check(profiles, bad)
+            assert caught.value.code == "invalid-spec"
+            assert not caught.value.retryable
+        assert client.ping()  # connection survives every failure
+
+    def test_missing_specs_field_rejected(self, client, small_profile):
+        with pytest.raises(ServiceError, match="'specs' is required"):
+            client.request(
+                "check", profiles=profiles_to_wire([small_profile])
+            )
+
+    def test_truncated_exploration_is_structured(self, client, small_profile):
+        with pytest.raises(ServiceError) as caught:
+            client.check([small_profile], "always not missed", max_states=2)
+        assert caught.value.code == "exploration-truncated"
+        assert not caught.value.retryable
+
+
+class TestErrorShapes:
+    def test_unknown_op_carries_code_and_retryable(self, client):
+        with pytest.raises(ServiceError) as caught:
+            client.request("frobnicate")
+        assert caught.value.code == "invalid-request"
+        assert not caught.value.retryable
+
+    def test_oversized_line_carries_code_and_retryable(self, server):
+        import json
+        import socket
+
+        from repro.service.protocol import MAX_LINE_BYTES
+
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as raw:
+            raw.settimeout(30.0)
+            raw.connect(server.socket_path)
+            try:
+                raw.sendall(b"x" * (MAX_LINE_BYTES + 16) + b"\n")
+            except (BrokenPipeError, ConnectionResetError):
+                # The server may respond and close the connection before the
+                # tail of the oversized payload is flushed; the response is
+                # already in our receive queue, so keep going and read it.
+                pass
+            reader = raw.makefile("rb")
+            response = json.loads(reader.readline())
+        assert response["ok"] is False
+        assert response["code"] == "invalid-request"
+        assert response["retryable"] is False
