@@ -33,9 +33,57 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.robustness import run_campaign  # noqa: E402
 from repro.robustness.campaign import (  # noqa: E402
-    DEFAULT_ENGINES,
     DEFAULT_MAX_STATES,
+    default_campaign_engines,
 )
+
+
+def _service_hook(client, args, rng, pool, weights):
+    """Per-scenario service leg for ``--service`` runs.
+
+    Queries the scenario through the live server (client retries mask
+    transient faults) and compares the verdict against the kernel engine's
+    outcome; also folds one zipf-weighted admission from the synthetic
+    config pool into every scenario, so the sweep keeps hot-path and
+    cold-path service traffic mixed — the loadgen's skew, the campaign's
+    corpus.  Returns a divergence description or None.
+    """
+    from repro.verification.acceleration import instance_budgets
+
+    def hook(scenario, profiles, outcomes):
+        if scenario.explicit_budget is not None:
+            names = {profile.name for profile in profiles}
+            budget = {
+                name: count
+                for name, count in scenario.explicit_budget.items()
+                if name in names
+            }
+        else:
+            budget = instance_budgets(profiles)
+        try:
+            pool_config = rng.choices(pool, weights=weights, k=1)[0]
+            client.admit(pool_config, max_states=50_000)
+            result = client.verify(
+                profiles, instance_budget=budget, max_states=args.max_states
+            )
+        except Exception as error:  # noqa: BLE001 - a divergence, not a crash
+            return f"service request failed: {error!r}"
+        reference = outcomes.get("kernel") or next(iter(outcomes.values()))
+        if reference.truncated or result.truncated:
+            return None
+        if result.feasible != reference.feasible:
+            return (
+                f"service verdict {result.feasible} != engine "
+                f"{reference.feasible}"
+            )
+        if result.explored_states != reference.visited_count:
+            return (
+                f"service explored {result.explored_states} states != engine "
+                f"{reference.visited_count}"
+            )
+        return None
+
+    return hook
 
 
 def main() -> int:
@@ -45,8 +93,16 @@ def main() -> int:
     parser.add_argument("--start", type=int, default=0, help="first scenario index")
     parser.add_argument(
         "--engines",
-        default=",".join(DEFAULT_ENGINES),
-        help="comma-separated engine specs to cross-check",
+        default=",".join(default_campaign_engines()),
+        help="comma-separated engine specs to cross-check (default adds a "
+        "sharded:2 column on multi-core hosts)",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="additionally run every scenario through a spawned verification "
+        "server (with zipf-weighted pool traffic folded in) and treat any "
+        "service/engine verdict mismatch as a divergence",
     )
     parser.add_argument(
         "--max-states",
@@ -96,18 +152,50 @@ def main() -> int:
                 flush=True,
             )
 
+    server = None
+    client = None
+    hook = None
+    if args.service:
+        import random
+
+        from repro.robustness.chaos import (
+            SpawnedServer,
+            synthetic_config_pool,
+            zipf_weights,
+        )
+        from repro.service import ServiceClient
+
+        server = SpawnedServer(env={"REPRO_CHECKPOINT_LEVELS": "2"})
+        client = ServiceClient(
+            server.socket_path,
+            timeout=120.0,
+            retries=5,
+            backoff_base=0.02,
+            backoff_max=0.2,
+        ).connect()
+        pool = synthetic_config_pool(8, args.seed)
+        weights = zipf_weights(len(pool))
+        hook = _service_hook(client, args, random.Random(args.seed), pool, weights)
+
     began = time.perf_counter()
-    result = run_campaign(
-        args.seed,
-        args.count,
-        start=args.start,
-        engines=engines,
-        max_states=args.max_states,
-        delta_every=args.delta_every,
-        fixtures_dir=None if args.no_fixtures else args.fixtures_dir,
-        progress=progress,
-        specs=args.specs,
-    )
+    try:
+        result = run_campaign(
+            args.seed,
+            args.count,
+            start=args.start,
+            engines=engines,
+            max_states=args.max_states,
+            delta_every=args.delta_every,
+            divergence_hook=hook,
+            fixtures_dir=None if args.no_fixtures else args.fixtures_dir,
+            progress=progress,
+            specs=args.specs,
+        )
+    finally:
+        if client is not None:
+            client.close()
+        if server is not None:
+            server.stop()
     elapsed = time.perf_counter() - began
     summary = result.summary()
     summary["wall_seconds"] = elapsed

@@ -12,9 +12,28 @@ The subsystem has three layers:
   cross-checks the exploration engines against each other, shrinks any
   divergent scenario to a minimal reproducer and persists it as a
   regression fixture.
+* :mod:`repro.robustness.chaos` — the service chaos harness: replays the
+  corpus as live traffic against a running verification server while
+  seeded injectors kill workers, corrupt sockets and stores, and
+  interrupt checkpointed compiles — every answer compared against a
+  fault-free oracle.
 """
 
-from .campaign import CampaignResult, ScenarioReport, run_campaign, shrink_profiles
+from .campaign import (
+    CampaignResult,
+    ScenarioReport,
+    default_campaign_engines,
+    run_campaign,
+    shrink_profiles,
+)
+from .chaos import (
+    CHAOS_INJECTORS,
+    ChaosReport,
+    ChaosResult,
+    InProcessServer,
+    SpawnedServer,
+    run_chaos,
+)
 from .faults import (
     FAULT_KINDS,
     AppDrop,

@@ -59,12 +59,30 @@ __all__ = [
     "CampaignResult",
     "ScenarioReport",
     "apply_shrink_op",
+    "default_campaign_engines",
     "run_campaign",
     "shrink_profiles",
 ]
 
 #: Engines every scenario is cross-checked against.
 DEFAULT_ENGINES: Tuple[str, ...] = ("sequential", "vectorized", "kernel")
+
+
+def default_campaign_engines() -> Tuple[str, ...]:
+    """The differential matrix for this host.
+
+    Multi-core hosts with the ``fork`` start method additionally cross-check
+    a two-worker sharded pass (the supervised engine's happy path); on a
+    single-core container the sharded column is left out of the matrix
+    entirely — gated, not failed.
+    """
+    import multiprocessing
+
+    if (os.cpu_count() or 1) >= 2 and (
+        "fork" in multiprocessing.get_all_start_methods()
+    ):
+        return DEFAULT_ENGINES + ("sharded:2",)
+    return DEFAULT_ENGINES
 
 #: Default exploration cap — generously above the generator's typical
 #: state-space sizes, so truncation (and the skipped-scenario bucket) stays
@@ -244,10 +262,31 @@ def _compare(outcomes: Dict[str, ExplorationOutcome]) -> Tuple[str, Optional[str
     verdicts = {name: outcome.feasible for name, outcome in outcomes.items()}
     if len(set(verdicts.values())) > 1:
         return "divergence", f"verdict mismatch: {verdicts}"
-    levels = {name: outcome.levels for name, outcome in outcomes.items()}
-    if len(set(levels.values())) > 1:
-        return "divergence", f"level/witness-depth mismatch: {levels}"
     feasible = next(iter(verdicts.values()))
+    levels = {name: outcome.levels for name, outcome in outcomes.items()}
+    if feasible:
+        # Complete feasible runs: one extra trailing level is allowed for
+        # the sharded engine — a final candidate wave that dedupes to
+        # nothing still crosses its level barrier (documented engine
+        # semantics); everything else must agree exactly.
+        base = {
+            name: level
+            for name, level in levels.items()
+            if name.split(":", 1)[0] != "sharded"
+        }
+        if len(set(base.values())) > 1:
+            return "divergence", f"level-count mismatch: {levels}"
+        if base:
+            reference_levels = next(iter(base.values()))
+            if any(
+                level not in (reference_levels, reference_levels + 1)
+                for name, level in levels.items()
+                if name not in base
+            ):
+                return "divergence", f"sharded level-count mismatch: {levels}"
+    elif len(set(levels.values())) > 1:
+        # Infeasible runs stop at the minimal witness depth everywhere.
+        return "divergence", f"level/witness-depth mismatch: {levels}"
     if feasible:
         counts = {name: outcome.visited_count for name, outcome in outcomes.items()}
         if len(set(counts.values())) > 1:
@@ -256,7 +295,8 @@ def _compare(outcomes: Dict[str, ExplorationOutcome]) -> Tuple[str, Optional[str
         counts = {
             name: outcome.visited_count
             for name, outcome in outcomes.items()
-            if name in _LEVEL_SYNCHRONOUS
+            # Normalize worker-count suffixes ("sharded:2" -> "sharded").
+            if name.split(":", 1)[0] in _LEVEL_SYNCHRONOUS
         }
         if len(set(counts.values())) > 1:
             return (
@@ -440,7 +480,7 @@ def run_campaign(
     count: int,
     *,
     start: int = 0,
-    engines: Sequence[str] = DEFAULT_ENGINES,
+    engines: Optional[Sequence[str]] = None,
     max_states: int = DEFAULT_MAX_STATES,
     delta_every: int = 4,
     divergence_hook: Optional[Callable[..., Optional[str]]] = None,
@@ -457,7 +497,9 @@ def run_campaign(
         start: first scenario index (replay a single scenario with
             ``start=index, count=1``).
         engines: engine specs to cross-check (kernel additionally gets a
-            warm-replay pass).
+            warm-replay pass); defaults to
+            :func:`default_campaign_engines` — the base matrix plus a
+            two-worker sharded column on multi-core hosts.
         max_states: exploration cap; truncating scenarios are ``skipped``.
         delta_every: run the delta-warm-start identity check on every
             ``delta_every``-th multi-application scenario (0 disables).
@@ -475,6 +517,8 @@ def run_campaign(
     """
     import tempfile
 
+    if engines is None:
+        engines = default_campaign_engines()
     generator = ScenarioGenerator(seed)
     result = CampaignResult(
         seed=int(seed),

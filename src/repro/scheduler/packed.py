@@ -1395,3 +1395,6 @@ def clear_packed_caches() -> None:
         system.clear_memo()
         system.clear_expansion_tables()
     _SYSTEM_CACHE.clear()
+    from ..verification.spec_eval import clear_spec_cache
+
+    clear_spec_cache()

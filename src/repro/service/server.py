@@ -159,6 +159,7 @@ class VerificationService:
             "spec_checks": 0,
             "errors": 0,
             "pool_rebuilds": 0,
+            "store_rejects": 0,
         }
 
     # ------------------------------------------------------------- lifecycle
@@ -433,6 +434,10 @@ class VerificationService:
         if graph is None and self.store.has(fingerprint):
             if self.store.load(system):
                 return "store"
+            # A present entry that would not load (truncated/corrupted on
+            # disk — e.g. mid-publish crash or operator damage); the store
+            # already dropped it, so this query recompiles cold.
+            self.stats["store_rejects"] += 1
         return None
 
     async def _cold_verify(

@@ -99,7 +99,15 @@ from .spec import (
     specs_from_wire,
     standard_spec_bundle,
 )
-from .spec_eval import ReferenceChecker, SpecVerdict, evaluate_spec, evaluate_specs
+from .spec_eval import (
+    SPEC_CACHE_ENV_VAR,
+    ReferenceChecker,
+    SpecVerdict,
+    clear_spec_cache,
+    evaluate_spec,
+    evaluate_specs,
+    spec_cache_stats,
+)
 from .store import STORE_BYTES_ENV_VAR, GraphStore, GraphStoreClaim, store_for
 
 __all__ = [
@@ -158,4 +166,7 @@ __all__ = [
     "standard_spec_bundle",
     "evaluate_spec",
     "evaluate_specs",
+    "SPEC_CACHE_ENV_VAR",
+    "clear_spec_cache",
+    "spec_cache_stats",
 ]

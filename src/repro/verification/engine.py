@@ -173,6 +173,162 @@ def available_worker_count() -> int:
         return os.cpu_count() or 1
 
 
+# ---------------------------------------------------------------- supervision
+#: Kill switch for sharded worker supervision (any of ``0``/``off``/``no``/
+#: ``false`` disables it and restores the pre-supervision abort-on-death
+#: behaviour).
+SHARD_SUPERVISE_ENV_VAR = "REPRO_SHARD_SUPERVISE"
+
+#: Seconds a supervised worker may stay silent past a level barrier before
+#: the coordinator declares it hung.  A SIGKILLed worker is detected within
+#: tens of milliseconds through ``Process.is_alive`` — the heartbeat only
+#: bounds the hung-but-alive case, so the default is generous.
+SHARD_HEARTBEAT_ENV_VAR = "REPRO_SHARD_HEARTBEAT"
+
+DEFAULT_SHARD_HEARTBEAT = 120.0
+
+
+def shard_supervision_enabled() -> bool:
+    """Whether sharded worker supervision is on (default yes)."""
+    return os.environ.get(SHARD_SUPERVISE_ENV_VAR, "").strip().lower() not in {
+        "0",
+        "off",
+        "no",
+        "false",
+    }
+
+
+def _shard_heartbeat_seconds() -> float:
+    raw = os.environ.get(SHARD_HEARTBEAT_ENV_VAR, "").strip()
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            import warnings
+
+            warnings.warn(
+                f"ignoring non-numeric {SHARD_HEARTBEAT_ENV_VAR}={raw!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return DEFAULT_SHARD_HEARTBEAT
+
+
+class _WorkerLost(Exception):
+    """A supervised shard worker died or went silent past its heartbeat."""
+
+    def __init__(self, worker: int) -> None:
+        super().__init__(f"sharded BFS worker {worker} lost")
+        self.worker = worker
+
+
+class _ShardPipe:
+    """Coordinator-side supervised pipe to one shard worker.
+
+    Wraps the raw ``multiprocessing`` connection so the per-level barrier
+    doubles as the health check: ``send`` turns a broken pipe into
+    :class:`_WorkerLost`, and ``recv`` polls in short slices, checking the
+    worker process between slices — a SIGKILLed worker is detected within
+    one poll slice instead of blocking the barrier forever, and a
+    hung-but-alive worker trips the heartbeat deadline.
+    """
+
+    __slots__ = ("conn", "process", "worker", "heartbeat")
+
+    def __init__(self, conn, process, worker: int, heartbeat: float) -> None:
+        self.conn = conn
+        self.process = process
+        self.worker = worker
+        self.heartbeat = heartbeat
+
+    def send(self, message) -> None:
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError):
+            raise _WorkerLost(self.worker) from None
+
+    def recv(self):
+        import time
+
+        deadline = time.monotonic() + self.heartbeat
+        while True:
+            try:
+                if self.conn.poll(0.02):
+                    return self.conn.recv()
+            except (EOFError, OSError):
+                raise _WorkerLost(self.worker) from None
+            if not self.process.is_alive():
+                # Drain a final reply the worker may have sent just before
+                # exiting cleanly on "stop" racing a slow join.
+                try:
+                    if self.conn.poll(0):
+                        return self.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise _WorkerLost(self.worker)
+            if time.monotonic() >= deadline:
+                raise _WorkerLost(self.worker)
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+class _ShardRecovery:
+    """Coordinator-side restart log for the supervised sharded BFS.
+
+    Holds exactly what a fresh worker team needs to resume from the last
+    completed level barrier: every accepted ``(state | parent | label)``
+    row matrix of the completed levels (``log`` — the same list that backs
+    the predecessor store when the caller wants traces) plus a snapshot of
+    the current level's candidate rows and counters, taken at each level
+    start.  On a worker loss the engine truncates ``log`` back to
+    ``log_mark`` (discarding the dead level's partial accepts), re-seeds a
+    smaller team's visited shards from ``log`` and replays the snapshotted
+    level — re-exploring only the level that was in flight.
+    """
+
+    __slots__ = (
+        "started",
+        "log",
+        "log_mark",
+        "level_rows",
+        "visited_count",
+        "levels",
+    )
+
+    def __init__(self) -> None:
+        self.started = False
+        self.log: List = []
+        self.log_mark = 0
+        self.level_rows: List = []
+        self.visited_count = 0
+        self.levels = 0
+
+    def mark_level(self, visited_count: int, levels: int) -> None:
+        self.visited_count = visited_count
+        self.levels = levels
+        self.log_mark = len(self.log)
+
+    def visited_words(self, system):
+        """``(n, words)`` matrix of every state accepted so far.
+
+        The root is prepended explicitly: if the loss happened during
+        level 1 the log is empty, yet the root must still seed its shard.
+        Duplicates (the root also appears in level 1's accepted rows) are
+        harmless — the workers' interners dedupe.
+        """
+        import numpy as np
+
+        words = system.packed_words
+        parts = [system.pack_words([system.initial])]
+        parts.extend(
+            np.ascontiguousarray(matrix[:, :words])
+            for matrix in self.log
+            if matrix.shape[0]
+        )
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
 # --------------------------------------------------------------------- sources
 @runtime_checkable
 class TransitionSource(Protocol):
@@ -648,6 +804,9 @@ def _shard_worker_packed(system, worker_count: int, conn) -> None:
         message = conn.recv()
         if message[0] == "stop":
             break
+        if message[0] == "seed":
+            conn.send(("seeded", _seed_shard_visited(visited, message, words)))
+            continue
         _, count, payload, with_parents = message
         if count:
             candidates = np.frombuffer(payload, dtype=np.uint64).reshape(count, columns)
@@ -692,6 +851,11 @@ def _shard_worker_packed_shm(system, worker_count: int, conn) -> None:
             message = conn.recv()
             if message[0] == "stop":
                 break
+            if message[0] == "seed":
+                # Recovery seeds travel over the pipe even in shm mode —
+                # they are sent once per worker loss, not per level.
+                conn.send(("seeded", _seed_shard_visited(visited, message, words)))
+                continue
             _, count, name, offset_rows, with_parents = message
             if count:
                 candidates = inbox.view(name, count, columns, offset_rows)
@@ -723,6 +887,23 @@ def _shard_visited_table(words: int):
     from .kernel import PackedStateTable
 
     return PackedStateTable(words)
+
+
+def _seed_shard_visited(visited, message, words: int) -> int:
+    """Intern a ``("seed", count, payload)`` recovery batch; returns count.
+
+    Sent by the supervised coordinator to a freshly respawned team: the
+    states every *previous* team accepted up to the last completed level,
+    routed to this worker under the new (smaller) shard partition, so the
+    replayed level dedupes against them exactly as the old team would
+    have.
+    """
+    import numpy as np
+
+    _, count, payload = message
+    if count:
+        visited.intern(np.frombuffer(payload, dtype=np.uint64).reshape(count, words))
+    return count
 
 
 def _shard_worker_generic(source, worker_count: int, conn) -> None:
@@ -785,22 +966,74 @@ class ShardedEngine:
     without ``fork`` the engine transparently degrades to the sequential
     engine.
 
+    Supervision: for packed sources the per-level barrier doubles as a
+    health check (see :class:`_ShardPipe`).  When a worker dies mid-level
+    — SIGKILL, OOM kill, crash — the coordinator tears the team down,
+    respawns one fewer worker, re-seeds the new shard partition from the
+    accepted-row log of the completed levels and replays only the level
+    that was in flight, so one dead worker costs one level instead of the
+    whole search.  The log makes every supervised run carry accepted rows
+    over the wire even when no predecessor store was requested — that is
+    the price of restartability; ``REPRO_SHARD_SUPERVISE=0`` (or
+    ``supervise=False``) restores the abort-on-death fast path.  Generic
+    sources are never supervised (their tuple exchange keeps no row log).
+    Truncated searches may re-truncate at a slightly different state after
+    a recovery (sub-round boundaries shift with the team size); complete
+    runs are unaffected — verdict, counts, levels and witness depth match
+    the fault-free run exactly.  The predecessor store may break ties
+    among equal-depth parents differently (the merged shards expand in a
+    different within-level order), which no engine guarantee covers.
+
     Args:
         workers: number of worker processes; defaults to the number of
             usable cores (at least 2).
+        supervise: force supervision on/off; ``None`` reads
+            ``REPRO_SHARD_SUPERVISE`` (default on).
+        heartbeat: seconds of barrier silence after which a live worker is
+            declared hung; ``None`` reads ``REPRO_SHARD_HEARTBEAT``
+            (default 120).
+        fault_hook: test/chaos hook ``hook(level, pids)`` called once per
+            BFS level right after the level's first sub-round dispatch,
+            with the completed-level count and the worker pids — fault
+            injectors SIGKILL a pid from here to hit the mid-level window
+            deterministically.  The hook is called every level; injectors
+            that should fire once must disarm themselves.
     """
 
     name = "sharded"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        supervise: Optional[bool] = None,
+        heartbeat: Optional[float] = None,
+        fault_hook: Optional[Callable[[int, List[int]], None]] = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise VerificationError(f"worker count must be positive, got {workers}")
         self.workers = workers
+        self.supervise = supervise
+        self.heartbeat = heartbeat
+        self.fault_hook = fault_hook
+        #: Workers lost and recovered from during the last explore() call.
+        self.recovered_workers = 0
+        self._processes: List = []
 
     def _worker_count(self) -> int:
         if self.workers is not None:
             return self.workers
         return max(available_worker_count(), 2)
+
+    def _supervision_enabled(self) -> bool:
+        if self.supervise is not None:
+            return self.supervise
+        return shard_supervision_enabled()
+
+    def _heartbeat_seconds(self) -> float:
+        if self.heartbeat is not None:
+            return float(self.heartbeat)
+        return _shard_heartbeat_seconds()
 
     def explore(
         self,
@@ -810,6 +1043,7 @@ class ShardedEngine:
     ) -> ExplorationOutcome:
         import multiprocessing
 
+        self.recovered_workers = 0
         worker_count = self._worker_count()
         if worker_count < 2 or "fork" not in multiprocessing.get_all_start_methods():
             outcome = SequentialPackedEngine().explore(source, max_states, with_parents)
@@ -818,55 +1052,158 @@ class ShardedEngine:
 
         from .shm import shared_frontiers_enabled
 
-        use_shm = (
-            getattr(source, "kind", "generic") == "packed"
-            and shared_frontiers_enabled()
-        )
+        packed = getattr(source, "kind", "generic") == "packed"
+        use_shm = packed and shared_frontiers_enabled()
+        supervise = packed and self._supervision_enabled()
         context = multiprocessing.get_context("fork")
-        connections = []
-        processes = []
-        try:
-            for worker_id in range(worker_count):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_shard_worker,
-                    args=(source, worker_id, worker_count, child_conn, use_shm),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                connections.append(parent_conn)
-                processes.append(process)
-            return self._coordinate(
-                source,
-                connections,
-                worker_count,
-                int(max_states),
-                with_parents,
-                use_shm,
+
+        if not supervise:
+            connections, processes = self._spawn_workers(
+                context, source, worker_count, use_shm, supervised=False
             )
-        finally:
-            for conn in connections:
-                try:
-                    conn.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    pass
+            try:
+                return self._coordinate(
+                    source,
+                    connections,
+                    worker_count,
+                    int(max_states),
+                    with_parents,
+                    use_shm,
+                )
+            finally:
+                self._teardown(connections, processes)
+
+        recovery = _ShardRecovery()
+        while True:
+            connections, processes = self._spawn_workers(
+                context, source, worker_count, use_shm, supervised=True
+            )
+            try:
+                if recovery.started:
+                    self._seed_team(connections, recovery, source.system)
+                return self._coordinate(
+                    source,
+                    connections,
+                    worker_count,
+                    int(max_states),
+                    with_parents,
+                    use_shm,
+                    recovery,
+                )
+            except _WorkerLost as lost:
+                # Drop the dead level's partial accepts; the survivors'
+                # visited shards are wrong under any new partition, so the
+                # whole team is replaced by a smaller one and the level
+                # replays from its snapshotted candidate rows.
+                del recovery.log[recovery.log_mark :]
+                worker_count -= 1
+                self.recovered_workers += 1
+                if worker_count < 1:
+                    raise VerificationError(
+                        "sharded BFS lost every worker; nothing left to "
+                        "re-partition the shards onto"
+                    ) from lost
+                import warnings
+
+                warnings.warn(
+                    f"sharded BFS worker {lost.worker} lost at level "
+                    f"{recovery.levels}; re-partitioning onto "
+                    f"{worker_count} worker(s) and replaying the level",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            finally:
+                self._teardown(connections, processes)
+
+    def _spawn_workers(self, context, source, worker_count, use_shm, supervised):
+        connections: List = []
+        processes: List = []
+        heartbeat = self._heartbeat_seconds()
+        for worker_id in range(worker_count):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker,
+                args=(source, worker_id, worker_count, child_conn, use_shm),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            if supervised:
+                connections.append(
+                    _ShardPipe(parent_conn, process, worker_id, heartbeat)
+                )
+            else:
+                connections.append(parent_conn)
+            processes.append(process)
+        self._processes = processes
+        return connections, processes
+
+    @staticmethod
+    def _teardown(connections, processes) -> None:
+        for conn in connections:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError, _WorkerLost):
+                pass
+            try:
                 conn.close()
-            for process in processes:
-                process.join(timeout=10)
-                if process.is_alive():  # pragma: no cover - defensive
-                    process.terminate()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for process in processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+
+    def _seed_team(self, connections, recovery, system) -> None:
+        """Re-seed a respawned team's visited shards from the recovery log."""
+        import numpy as np
+
+        from .kernel import hash_words
+
+        seeds = recovery.visited_words(system)
+        worker_count = len(connections)
+        destinations = hash_words(seeds) % np.uint64(worker_count)
+        for worker, conn in enumerate(connections):
+            shard = np.ascontiguousarray(seeds[destinations == np.uint64(worker)])
+            conn.send(("seed", shard.shape[0], shard.tobytes()))
+        for conn in connections:
+            reply = conn.recv()
+            if reply[0] == "exception":
+                raise VerificationError(
+                    f"sharded BFS worker failed while re-seeding: {reply[1]}"
+                )
+
+    def _fire_fault_hook(self, level: int) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(level, [process.pid for process in self._processes])
 
     def _coordinate(
-        self, source, connections, worker_count, max_states, with_parents, use_shm
+        self,
+        source,
+        connections,
+        worker_count,
+        max_states,
+        with_parents,
+        use_shm,
+        recovery=None,
     ) -> ExplorationOutcome:
         if getattr(source, "kind", "generic") == "packed":
             if use_shm:
                 return self._coordinate_packed_shm(
-                    source.system, connections, worker_count, max_states, with_parents
+                    source.system,
+                    connections,
+                    worker_count,
+                    max_states,
+                    with_parents,
+                    recovery,
                 )
             return self._coordinate_packed(
-                source.system, connections, worker_count, max_states, with_parents
+                source.system,
+                connections,
+                worker_count,
+                max_states,
+                with_parents,
+                recovery,
             )
         return self._coordinate_generic(
             source, connections, worker_count, max_states, with_parents
@@ -895,7 +1232,7 @@ class ShardedEngine:
         return parents
 
     def _coordinate_packed_shm(
-        self, system, connections, worker_count, max_states, with_parents
+        self, system, connections, worker_count, max_states, with_parents, recovery=None
     ) -> ExplorationOutcome:
         """Packed coordinator over shared-memory frontier rings.
 
@@ -908,6 +1245,12 @@ class ShardedEngine:
         next level's inboxes; only parent records (kept until the end of
         the search) and buckets that must survive an outbox reuse inside
         one level are copied.
+
+        Supervision keeps the per-level snapshot free until a worker
+        actually dies: the in-flight level's candidate rows already sit in
+        the coordinator-owned inboxes (workers only read them), so they
+        are copied out of the rings into ``recovery.level_rows`` only on
+        the :class:`_WorkerLost` path, before the rings are torn down.
         """
         import numpy as np
 
@@ -916,27 +1259,60 @@ class ShardedEngine:
 
         words = system.packed_words
         columns = 2 * words + 1
-
-        root_words = system.pack_words([system.initial])
-        root_record = np.zeros((1, columns), dtype=np.uint64)
-        root_record[0, :words] = root_words[0]
-        root_record[0, 2 * words] = NO_PARENT_LABEL
+        supervise = recovery is not None
+        wire_parents = with_parents or supervise
 
         inboxes = [FrontierRing() for _ in range(worker_count)]
         readers = [FrontierReader() for _ in range(worker_count)]
-        accepted_buffers: Optional[List[np.ndarray]] = [] if with_parents else None
+        if supervise:
+            accepted_buffers: Optional[List[np.ndarray]] = recovery.log
+        else:
+            accepted_buffers = [] if with_parents else None
         visited_count = 0
         levels = 0
         truncated = False
         error: Optional[Tuple[int, int, int]] = None
         pending_rows = [0] * worker_count
-        root_shard = int(hash_words(root_words)[0] % np.uint64(worker_count))
-        pending_rows[root_shard] = inboxes[root_shard].write([root_record], columns)[1]
+
+        if supervise and recovery.started:
+            # Replay after a worker loss: re-bucket the snapshotted level
+            # under the new shard partition and restore the counters.
+            visited_count = recovery.visited_count
+            levels = recovery.levels
+            # A ring is written once per level, so the shards of every
+            # snapshot matrix are accumulated per destination first.
+            queued: List[List[np.ndarray]] = [[] for _ in range(worker_count)]
+            for matrix in recovery.level_rows:
+                destinations = hash_words(
+                    np.ascontiguousarray(matrix[:, :words])
+                ) % np.uint64(worker_count)
+                for destination in range(worker_count):
+                    shard = matrix[destinations == np.uint64(destination)]
+                    if shard.shape[0]:
+                        queued[destination].append(shard)
+            for destination in range(worker_count):
+                pending_rows[destination] = inboxes[destination].write(
+                    queued[destination], columns
+                )[1]
+        else:
+            if supervise:
+                recovery.started = True
+            root_words = system.pack_words([system.initial])
+            root_record = np.zeros((1, columns), dtype=np.uint64)
+            root_record[0, :words] = root_words[0]
+            root_record[0, 2 * words] = NO_PARENT_LABEL
+            root_shard = int(hash_words(root_words)[0] % np.uint64(worker_count))
+            pending_rows[root_shard] = inboxes[root_shard].write(
+                [root_record], columns
+            )[1]
 
         try:
             while any(pending_rows) and error is None and not truncated:
+                if supervise:
+                    recovery.mark_level(visited_count, levels)
                 next_views: List[List[np.ndarray]] = [[] for _ in range(worker_count)]
                 cursors = [0] * worker_count
+                hook_fired = False
                 while True:
                     left = sum(
                         pending_rows[w] - cursors[w] for w in range(worker_count)
@@ -950,10 +1326,13 @@ class ShardedEngine:
                     for w, conn in enumerate(connections):
                         take = min(pending_rows[w] - cursors[w], budget)
                         conn.send(
-                            ("expand", take, inboxes[w].name, cursors[w], with_parents)
+                            ("expand", take, inboxes[w].name, cursors[w], wire_parents)
                         )
                         cursors[w] += take
                         budget -= take
+                    if not hook_fired:
+                        hook_fired = True
+                        self._fire_fault_hook(levels)
                     last_subround = all(
                         pending_rows[w] == cursors[w] for w in range(worker_count)
                     )
@@ -995,12 +1374,29 @@ class ShardedEngine:
                         )[1]
                 for views in next_views:
                     views.clear()
+        except _WorkerLost as lost:
+            if supervise:
+                # Snapshot the in-flight level out of the coordinator-owned
+                # inbox rings before the finally below unlinks them; the
+                # rings still hold the level's candidates verbatim (workers
+                # only read inboxes, the coordinator rewrites them at level
+                # end only).
+                recovery.level_rows = [
+                    inboxes[w].rows(pending_rows[w], columns).copy()
+                    for w in range(worker_count)
+                    if pending_rows[w]
+                ]
+                # The dead worker cannot unlink its own outbox ring any
+                # more; adopt the last segment this side attached.
+                if 0 <= lost.worker < worker_count:
+                    readers[lost.worker].adopt_unlink()
+            raise
         finally:
             close_all(readers)
             close_all(inboxes)
 
         parents: Optional[Dict[int, Tuple[int, int]]] = None
-        if accepted_buffers is not None:
+        if with_parents and accepted_buffers is not None:
             parents = self._decode_parent_buffers(accepted_buffers, words)
         return ExplorationOutcome(
             engine=self.name,
@@ -1015,7 +1411,7 @@ class ShardedEngine:
         )
 
     def _coordinate_packed(
-        self, system, connections, worker_count, max_states, with_parents
+        self, system, connections, worker_count, max_states, with_parents, recovery=None
     ) -> ExplorationOutcome:
         """Packed coordinator: candidate rows are ``uint64`` matrices.
 
@@ -1024,6 +1420,11 @@ class ShardedEngine:
         re-pickling per-state tuples, and parent records accumulate as raw
         buffers that are decoded to the predecessor dict once, after the
         search — not per level.
+
+        Supervision costs nothing here until a worker dies: the pending
+        matrices are views over coordinator-owned reply bytes, stable for
+        the whole level, so the level snapshot is just the list of
+        references taken at level start.
         """
         import numpy as np
 
@@ -1031,28 +1432,61 @@ class ShardedEngine:
 
         words = system.packed_words
         columns = 2 * words + 1
+        supervise = recovery is not None
+        wire_parents = with_parents or supervise
 
         def empty_matrix():
             return np.zeros((0, columns), dtype=np.uint64)
 
-        root_words = system.pack_words([system.initial])
-        root_record = np.zeros((1, columns), dtype=np.uint64)
-        root_record[0, :words] = root_words[0]
-        root_record[0, 2 * words] = NO_PARENT_LABEL
-        pending: List[np.ndarray] = [empty_matrix() for _ in range(worker_count)]
-        pending[int(hash_words(root_words)[0] % np.uint64(worker_count))] = root_record
-
-        accepted_buffers: Optional[List[np.ndarray]] = [] if with_parents else None
+        if supervise:
+            accepted_buffers: Optional[List[np.ndarray]] = recovery.log
+        else:
+            accepted_buffers = [] if with_parents else None
         visited_count = 0
         levels = 0
+
+        if supervise and recovery.started:
+            # Replay after a worker loss: re-bucket the snapshotted level
+            # under the new shard partition and restore the counters.
+            visited_count = recovery.visited_count
+            levels = recovery.levels
+            queued: List[List[np.ndarray]] = [[] for _ in range(worker_count)]
+            for matrix in recovery.level_rows:
+                destinations = hash_words(
+                    np.ascontiguousarray(matrix[:, :words])
+                ) % np.uint64(worker_count)
+                for destination in range(worker_count):
+                    shard = matrix[destinations == np.uint64(destination)]
+                    if shard.shape[0]:
+                        queued[destination].append(shard)
+            pending: List[np.ndarray] = [
+                np.concatenate(batch) if batch else empty_matrix()
+                for batch in queued
+            ]
+        else:
+            if supervise:
+                recovery.started = True
+            root_words = system.pack_words([system.initial])
+            root_record = np.zeros((1, columns), dtype=np.uint64)
+            root_record[0, :words] = root_words[0]
+            root_record[0, 2 * words] = NO_PARENT_LABEL
+            pending = [empty_matrix() for _ in range(worker_count)]
+            pending[
+                int(hash_words(root_words)[0] % np.uint64(worker_count))
+            ] = root_record
+
         truncated = False
         error: Optional[Tuple[int, int, int]] = None
 
         while any(len(p) for p in pending) and error is None and not truncated:
             # One BFS level, dispatched in budget-bounded sub-rounds exactly
             # like the generic coordinator (see there for the cap rule).
+            if supervise:
+                recovery.mark_level(visited_count, levels)
+                recovery.level_rows = [p for p in pending if len(p)]
             next_pending: List[List[np.ndarray]] = [[] for _ in range(worker_count)]
             cursors = [0] * worker_count
+            hook_fired = False
             while True:
                 left = sum(
                     len(pending[w]) - cursors[w] for w in range(worker_count)
@@ -1071,7 +1505,10 @@ class ShardedEngine:
                     payload = (
                         np.ascontiguousarray(batch).tobytes() if take else b""
                     )
-                    conn.send(("expand", take, payload, with_parents))
+                    conn.send(("expand", take, payload, wire_parents))
+                if not hook_fired:
+                    hook_fired = True
+                    self._fire_fault_hook(levels)
                 round_errors: List[Tuple[int, int, int]] = []
                 for conn in connections:
                     reply = conn.recv()
@@ -1109,7 +1546,7 @@ class ShardedEngine:
             ]
 
         parents: Optional[Dict[int, Tuple[int, int]]] = None
-        if accepted_buffers is not None:
+        if with_parents and accepted_buffers is not None:
             parents = self._decode_parent_buffers(accepted_buffers, words)
         return ExplorationOutcome(
             engine=self.name,

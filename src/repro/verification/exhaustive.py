@@ -51,6 +51,8 @@ from .delta import maybe_warm_start_graph
 from .engine import CompiledKernelEngine, PackedStateSource, resolve_engine
 from .kernel import (
     GRAPH_DIR_ENV_VAR,
+    checkpoint_policy_from_env,
+    compiled_graph_for,
     config_fingerprint,
     maybe_load_graph,
     maybe_save_graph,
@@ -122,6 +124,9 @@ class ExhaustiveVerifier:
         self.packed = packed_system_for(self.config)
         if self.graph_dir:
             maybe_load_graph(self.packed, self.graph_dir)
+        #: Whether this verifier adopted a partial-exploration checkpoint
+        #: (set by :meth:`_compile_claim` / :meth:`_ensure_compiled_graph`).
+        self.resumed_from_checkpoint = False
         self.warm_started = False
         if parent_profiles:
             parent_config = SlotSystemConfig.from_profiles(
@@ -252,6 +257,13 @@ class ExhaustiveVerifier:
         """The configuration's compiled graph, compiling it if needed."""
         graph = self.packed.compiled_graph
         if graph is None or not (graph.complete or graph.error is not None):
+            if self.graph_dir:
+                from .store import store_for
+
+                store = store_for(self.graph_dir)
+                if graph is None and store.load_checkpoint(self.packed):
+                    self.resumed_from_checkpoint = True
+                self._arm_checkpoints(store)
             engine = CompiledKernelEngine()
             engine.explore(
                 PackedStateSource(self.packed),
@@ -295,6 +307,7 @@ class ExhaustiveVerifier:
             if maybe_load_graph(self.packed, self.graph_dir):
                 claim.release()
                 return None
+            self._adopt_checkpoint(store)
             return claim
         if self.packed.compiled_graph is not None:
             # A delta-warm-started compile is typically cheaper than
@@ -305,8 +318,32 @@ class ExhaustiveVerifier:
         if maybe_load_graph(self.packed, self.graph_dir):
             return None
         # The claim holder failed or shipped nothing usable; compile after
-        # all, re-claiming when possible.
-        return store.claim(fingerprint)
+        # all, re-claiming when possible — adopting any checkpoint the
+        # crashed holder left behind, so its partial exploration is not
+        # re-done.
+        claim = store.claim(fingerprint)
+        self._adopt_checkpoint(store)
+        return claim
+
+    def _adopt_checkpoint(self, store) -> None:
+        """Resume from an exploration checkpoint and arm future ones.
+
+        Called on the compile-claim winner's path: a ``.ckpt`` left behind
+        by an interrupted compiler (ours or a crashed process's) seeds the
+        packed system's graph so exploration continues from the last
+        checkpointed level, and — when the checkpoint env knobs are set —
+        a :class:`~repro.verification.kernel.CheckpointPolicy` is installed
+        so *this* compile stages checkpoints too.
+        """
+        if self.packed.compiled_graph is None and store.load_checkpoint(self.packed):
+            self.resumed_from_checkpoint = True
+        self._arm_checkpoints(store)
+
+    def _arm_checkpoints(self, store) -> None:
+        """Install the env-configured checkpoint policy (no-op when unset)."""
+        policy = checkpoint_policy_from_env(store.publish_checkpoint)
+        if policy is not None:
+            compiled_graph_for(self.packed).set_checkpoint_policy(policy)
 
     def _reconstruct_trace(
         self,

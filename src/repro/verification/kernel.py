@@ -64,10 +64,12 @@ logger = logging.getLogger(__name__)
 
 __all__ = [
     "PackedStateTable",
+    "CheckpointPolicy",
     "CompiledStateGraph",
     "GenericStateGraph",
     "CsrParentStore",
     "GenericParentStore",
+    "checkpoint_policy_from_env",
     "compiled_graph_for",
     "config_fingerprint",
     "load_graph",
@@ -656,6 +658,104 @@ class CsrParentStore(Mapping):
         return masks
 
 
+#: Environment variable: checkpoint a cold compile's partial graph every N
+#: expanded BFS levels (unset/0 disables the level trigger).
+CHECKPOINT_LEVELS_ENV_VAR = "REPRO_CHECKPOINT_LEVELS"
+
+#: Environment variable: additionally checkpoint whenever the graph grew by
+#: this many (approximate) bytes since the last checkpoint — deep levels of
+#: a wide graph can dwarf the level cadence (unset/0 disables).
+CHECKPOINT_BYTES_ENV_VAR = "REPRO_CHECKPOINT_BYTES"
+
+
+class CheckpointPolicy:
+    """When and where a compiling graph stages exploration checkpoints.
+
+    Attached to a :class:`CompiledStateGraph` by the compile-claim holder
+    (see :mod:`repro.verification.exhaustive`): after each level expanded
+    during :meth:`CompiledStateGraph.explore`, the graph checks the policy
+    and, when a trigger fires, hands its owning system to ``sink`` —
+    normally :meth:`~repro.verification.store.GraphStore
+    .publish_checkpoint`, which stages the partial graph atomically under
+    the configuration fingerprint.  Triggers are *growth since the last
+    checkpoint* (levels and/or approximate bytes), so a graph resumed from
+    a checkpoint does not immediately re-checkpoint the same prefix.
+    """
+
+    __slots__ = (
+        "sink",
+        "every_levels",
+        "every_bytes",
+        "written",
+        "_last_level",
+        "_last_bytes",
+    )
+
+    def __init__(
+        self,
+        sink,
+        every_levels: Optional[int] = None,
+        every_bytes: Optional[int] = None,
+    ) -> None:
+        self.sink = sink
+        self.every_levels = every_levels
+        self.every_bytes = every_bytes
+        #: Checkpoints staged through this policy (observability/tests).
+        self.written = 0
+        self._last_level = 0
+        self._last_bytes = 0
+
+    def rebase(self, graph: "CompiledStateGraph") -> None:
+        """Take the graph's current size as the no-growth baseline."""
+        self._last_level = graph.expanded_levels
+        self._last_bytes = graph.approx_bytes()
+
+    def due(self, graph: "CompiledStateGraph") -> bool:
+        """Whether the graph grew enough for another checkpoint."""
+        if (
+            self.every_levels
+            and graph.expanded_levels - self._last_level >= self.every_levels
+        ):
+            return True
+        if (
+            self.every_bytes
+            and graph.approx_bytes() - self._last_bytes >= self.every_bytes
+        ):
+            return True
+        return False
+
+    def note_written(self, graph: "CompiledStateGraph") -> None:
+        """Record a staged checkpoint and rebase the growth counters."""
+        self.written += 1
+        self.rebase(graph)
+
+
+def checkpoint_policy_from_env(sink) -> Optional["CheckpointPolicy"]:
+    """A :class:`CheckpointPolicy` per the checkpoint env knobs, or ``None``.
+
+    Checkpointing is opt-in: with neither ``REPRO_CHECKPOINT_LEVELS`` nor
+    ``REPRO_CHECKPOINT_BYTES`` set (the default), cold compiles stay
+    all-or-nothing as before and pay zero checkpoint overhead.
+    """
+
+    def _read(name: str) -> Optional[int]:
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return None
+        try:
+            value = int(float(raw))
+        except ValueError:
+            logger.warning("ignoring non-numeric %s=%r", name, raw)
+            return None
+        return value if value > 0 else None
+
+    every_levels = _read(CHECKPOINT_LEVELS_ENV_VAR)
+    every_bytes = _read(CHECKPOINT_BYTES_ENV_VAR)
+    if every_levels is None and every_bytes is None:
+        return None
+    return CheckpointPolicy(sink, every_levels=every_levels, every_bytes=every_bytes)
+
+
 class CompiledStateGraph:
     """Incrementally compiled CSR state graph of one packed slot system.
 
@@ -694,6 +794,9 @@ class CompiledStateGraph:
         "delta_hints",
         "delta_stats",
         "delta_export",
+        "checkpoint",
+        "expansion_count",
+        "resumed_levels",
     )
 
     def __init__(self, system) -> None:
@@ -739,6 +842,17 @@ class CompiledStateGraph:
         #: child warm-started from it in a first-fit sweep.  Built lazily,
         #: dropped with the graph.
         self.delta_export = None
+        #: Active :class:`CheckpointPolicy`, or ``None`` (the default: no
+        #: checkpoint overhead).  Installed via :meth:`set_checkpoint_policy`
+        #: by the compile-claim holder.
+        self.checkpoint: Optional[CheckpointPolicy] = None
+        #: Levels *this graph object* expanded itself (a loaded graph starts
+        #: at 0) — lets resume tests counter-assert that a checkpointed
+        #: compile re-explored only post-checkpoint levels.
+        self.expansion_count = 0
+        #: Levels that were already compiled when this graph was loaded
+        #: (0 for cold-built graphs).
+        self.resumed_levels = 0
 
     def close(self) -> None:
         """Release the spill store (memmap handles + files), if any.
@@ -787,6 +901,22 @@ class CompiledStateGraph:
         """BFS-tree arrival mask of state ``id`` at row ``id - 1``."""
         return self._parent_labels.view
 
+    def approx_bytes(self) -> int:
+        """Approximate serialized size of the compiled arrays.
+
+        Cheap (pure arithmetic on the counters), used by the byte-growth
+        checkpoint trigger: interned state rows + CSR columns + row pointer
+        + parent store, at their in-memory widths.
+        """
+        states = self.state_count
+        transitions = self.transition_count
+        return (
+            states * self.words * 8  # interned state rows
+            + transitions * (4 + 8)  # succ_ids + labels
+            + states * 8  # indptr
+            + states * (4 + 8)  # parent_ids + parent_labels
+        )
+
     def states_as_ints(self, start: int, stop: int) -> List[int]:
         """Packed Python ints of the id range (one bulk conversion)."""
         return unpack_words(self.table.state_words[start:stop])
@@ -806,6 +936,7 @@ class CompiledStateGraph:
         witness.
         """
         k = self.expanded_levels
+        self.expansion_count += 1
         first, last = self.level_ptr[k], self.level_ptr[k + 1]
         frontier_words = self.table.state_words[first:last]
         expanded = None
@@ -858,6 +989,34 @@ class CompiledStateGraph:
             # Keep the RSS near the configured budget: drop the spilled
             # mappings' resident pages once per compiled level.
             self.store.relax()
+
+    # --------------------------------------------------------- checkpointing
+    def set_checkpoint_policy(self, policy: Optional[CheckpointPolicy]) -> None:
+        """Install (or clear) the checkpoint policy of this compile.
+
+        The policy is rebased onto the graph's current size, so a graph
+        resumed from a checkpoint waits for fresh growth before staging the
+        next one.
+        """
+        self.checkpoint = policy
+        if policy is not None:
+            policy.rebase(self)
+
+    def _maybe_checkpoint(self) -> None:
+        """Stage a checkpoint when the policy's growth trigger fired.
+
+        Called once per freshly expanded level from :meth:`explore`.  A
+        finished graph never checkpoints — it publishes as a real store
+        entry instead — and the sink is only consulted while a policy is
+        installed, so the default compile path pays one attribute check.
+        """
+        policy = self.checkpoint
+        if policy is None or self.complete or self.error is not None:
+            return
+        if not policy.due(self):
+            return
+        policy.sink(self.system)
+        policy.note_written(self)
 
     def _expand_level_delta(self, frontier_words: np.ndarray):
         """Delta-reuse expansion of one frontier (warm-started graphs).
@@ -1079,6 +1238,7 @@ class CompiledStateGraph:
         graph.table = table
         graph.level_ptr = level_ptr
         graph.expanded_levels = int(meta[4])
+        graph.resumed_levels = graph.expanded_levels
         graph.complete = bool(meta[5])
         graph.error_level = int(meta[6])
         if int(meta[7]):
@@ -1126,6 +1286,8 @@ class CompiledStateGraph:
                     # Compilation stopped: the parent-reuse data has served
                     # its purpose, keep only the counters.
                     self._freeze_delta_hints()
+                if self.checkpoint is not None:
+                    self._maybe_checkpoint()
             levels += 1
             if self.error is not None and self.error_level == k:
                 error = self.error

@@ -153,6 +153,17 @@ class FrontierRing:
             del target
         return self._segment.name, total
 
+    def rows(self, rows: int, columns: int) -> np.ndarray:
+        """Writer-side read-back view of the segment's leading rows.
+
+        The sharded coordinator owns its inbox rings and writes each BFS
+        level into them exactly once, so during a level the ring still
+        holds the level's candidate rows verbatim — the supervised engine
+        snapshots them from here (copying) when a worker dies mid-level,
+        to restart the level on the re-partitioned team.
+        """
+        return np.ndarray((rows, columns), dtype=np.uint64, buffer=self._segment.buf)
+
     def close(self) -> None:
         """Close and unlink the segment (the writer owns it)."""
         segment = self._segment
@@ -199,6 +210,27 @@ class FrontierReader:
             try:
                 segment.close()
             except BufferError:  # pragma: no cover - a live view pins it
+                pass
+
+    def adopt_unlink(self) -> None:
+        """Unlink the attached segment on behalf of a dead owner.
+
+        Cleanup normally belongs to the segment's creator; when a
+        supervised shard worker is killed its outbox ring outlives it, so
+        the coordinator unlinks the last segment it attached (best-effort:
+        a ring grown between the worker's last reply and its death is
+        reaped by the resource tracker at shutdown instead).
+        """
+        segment = self._segment
+        self._segment = None
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a live view pins it
+                pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
                 pass
 
 

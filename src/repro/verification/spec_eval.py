@@ -43,8 +43,10 @@ two on randomized corpus scenarios.
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -66,9 +68,72 @@ from .spec import (
     Within,
 )
 
-__all__ = ["SpecVerdict", "ReferenceChecker", "evaluate_spec", "evaluate_specs"]
+__all__ = [
+    "SPEC_CACHE_ENV_VAR",
+    "SpecVerdict",
+    "ReferenceChecker",
+    "clear_spec_cache",
+    "evaluate_spec",
+    "evaluate_specs",
+    "spec_cache_stats",
+]
 
 _PHASE_TAGS = {"steady": 0, "waiting": 1, "holding": 2, "safe": 3, "done": 4}
+
+# ------------------------------------------------------------- verdict cache
+#: Environment variable sizing the per-process verdict LRU (entries);
+#: ``0`` (or a negative value) disables caching entirely.
+SPEC_CACHE_ENV_VAR = "REPRO_SPEC_CACHE"
+
+_DEFAULT_SPEC_CACHE_ENTRIES = 256
+
+_spec_cache: "OrderedDict[Tuple[str, str], SpecVerdict]" = OrderedDict()
+_spec_cache_hits = 0
+_spec_cache_misses = 0
+
+
+def _spec_cache_capacity() -> int:
+    raw = os.environ.get(SPEC_CACHE_ENV_VAR, "").strip()
+    if not raw:
+        return _DEFAULT_SPEC_CACHE_ENTRIES
+    try:
+        return int(float(raw))
+    except ValueError:
+        return _DEFAULT_SPEC_CACHE_ENTRIES
+
+
+def _cache_key(graph, spec: Spec) -> Optional[Tuple[str, str]]:
+    """LRU key for a (graph, spec) pair, or None when the pair is uncacheable.
+
+    Only settled explorations are cacheable: a *complete* graph is uniquely
+    determined by its configuration fingerprint (ids ascend in BFS discovery
+    order), and an *error-stopped* graph is the deterministic prefix up to
+    the first deadline miss — both yield the same verdict in every process.
+    A ``max_states``-truncated prefix depends on the cap, so it is never
+    cached.
+    """
+    if not (graph.complete or graph.error is not None):
+        return None
+    from .kernel import config_fingerprint
+
+    return config_fingerprint(graph.system.config), spec.text
+
+
+def spec_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the per-process verdict cache."""
+    return {
+        "hits": _spec_cache_hits,
+        "misses": _spec_cache_misses,
+        "entries": len(_spec_cache),
+    }
+
+
+def clear_spec_cache() -> None:
+    """Drop all cached verdicts and reset the hit/miss counters."""
+    global _spec_cache_hits, _spec_cache_misses
+    _spec_cache.clear()
+    _spec_cache_hits = 0
+    _spec_cache_misses = 0
 
 
 # ------------------------------------------------------------------- verdicts
@@ -445,8 +510,28 @@ def evaluate_specs(graph, specs: Sequence[Spec]) -> List[SpecVerdict]:
 
 
 def evaluate_spec(graph, spec: Spec, _cache: Optional[_FieldCache] = None) -> SpecVerdict:
-    """Check one spec against a compiled graph; never re-explores."""
+    """Check one spec against a compiled graph; never re-explores.
+
+    Verdicts for settled graphs (complete, or error-stopped) are memoized in
+    a per-process LRU keyed on ``(configuration fingerprint, spec text)``, so
+    a repeated ``check`` against a warm graph skips label re-propagation
+    entirely.  Size the LRU with :data:`SPEC_CACHE_ENV_VAR` (``0`` disables).
+    """
+    global _spec_cache_hits, _spec_cache_misses
     started = time.perf_counter()
+    capacity = _spec_cache_capacity()
+    key = _cache_key(graph, spec) if capacity > 0 else None
+    if key is not None:
+        hit = _spec_cache.get(key)
+        if hit is not None:
+            _spec_cache.move_to_end(key)
+            _spec_cache_hits += 1
+            # Same immutable verdict under the caller's spec name, stamped
+            # with the (near-zero) lookup time instead of the original's.
+            return replace(
+                hit, name=spec.name, elapsed_seconds=time.perf_counter() - started
+            )
+        _spec_cache_misses += 1
     cache = _cache or _FieldCache(graph.system, graph.table.state_words)
     form = spec.form
     if isinstance(form, Always):
@@ -461,6 +546,10 @@ def evaluate_spec(graph, spec: Spec, _cache: Optional[_FieldCache] = None) -> Sp
         raise SpecError(f"unknown spec form {type(form).__name__}")
     elapsed = time.perf_counter() - started
     object.__setattr__(verdict, "elapsed_seconds", elapsed)
+    if key is not None:
+        _spec_cache[key] = verdict
+        while len(_spec_cache) > capacity:
+            _spec_cache.popitem(last=False)
     return verdict
 
 

@@ -33,6 +33,15 @@ sidecars), so existing caches — including CI-restored ones — keep working:
   (truncated file, stale format, fingerprint mismatch) logs a warning,
   drops the entry from the store and reports a miss — a corrupt cache must
   never fail a verification.
+* **Exploration checkpoints.**  A long cold compile periodically stages its
+  *partial* graph as ``graph-<fingerprint>.npz.ckpt``
+  (:meth:`publish_checkpoint`), atomically like a publish.  A compiler
+  killed mid-exploration leaves the checkpoint behind; the next claimant
+  resumes from it (:meth:`load_checkpoint`) instead of recompiling from
+  state zero, byte-identical to an uninterrupted compile (partial graphs
+  already save/load/resume exactly).  Checkpoints are swept once the
+  complete graph publishes, evicted only after every unpinned entry, and a
+  corrupt checkpoint follows the log-and-recompile rule above.
 
 The store is the persistence layer of the verification service
 (:mod:`repro.service`) *and* of the classic one-shot front-ends: the
@@ -162,6 +171,10 @@ class GraphStore:
     def claim_path(self, fingerprint: str) -> str:
         """On-disk path of a fingerprint's single-flight lockfile."""
         return self.entry_path(fingerprint) + ".lock"
+
+    def checkpoint_path(self, fingerprint: str) -> str:
+        """On-disk path of a fingerprint's partial-exploration checkpoint."""
+        return self.entry_path(fingerprint) + ".ckpt"
 
     @staticmethod
     def _fingerprint_of_entry(name: str) -> Optional[str]:
@@ -306,8 +319,93 @@ class GraphStore:
         finally:
             if os.path.exists(temp_path):
                 os.unlink(temp_path)
+        self._unlink_checkpoint(fingerprint)
         self.evict()
         return path
+
+    def publish_checkpoint(self, system) -> Optional[str]:
+        """Stage a system's *partial* graph as a resumable checkpoint.
+
+        The mirror image of :meth:`publish`: only graphs still mid
+        exploration are worth checkpointing (a finished graph publishes as
+        a real entry), the write is atomic (temp + ``os.replace``) so a
+        reader never observes a torn checkpoint, and a newer checkpoint of
+        the same fingerprint simply replaces the older one.  Best-effort
+        like every store write: a full disk logs and moves on — losing a
+        checkpoint only costs re-exploration, never correctness.
+
+        Returns the checkpoint path written, or ``None`` when skipped.
+        """
+        graph = system.compiled_graph
+        if graph is None or graph.complete or graph.error is not None:
+            return None
+        from .kernel import _temp_cache_path, config_fingerprint
+
+        fingerprint = config_fingerprint(system.config)
+        if os.path.exists(self.entry_path(fingerprint)):
+            return None  # the complete graph already landed: nothing to resume
+        path = self.checkpoint_path(fingerprint)
+        temp_path = _temp_cache_path(path)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(temp_path, "wb") as handle:
+                graph.save(handle)
+            os.replace(temp_path, path)
+        except OSError as error:
+            logger.warning(
+                "could not persist exploration checkpoint to %s: %s", path, error
+            )
+            return None
+        finally:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+        return path
+
+    def load_checkpoint(self, system) -> bool:
+        """Resume a partial graph from a fingerprint's checkpoint.
+
+        Used by a claimant about to compile cold: a checkpoint left behind
+        by a killed compiler is adopted, so exploration continues from the
+        last checkpointed level instead of state zero.  Corrupt or
+        truncated checkpoints follow the store's log-and-recompile rule —
+        warn, drop the file, report a miss.
+
+        Returns True when the system now holds the checkpointed partial
+        graph.
+        """
+        from .kernel import config_fingerprint, load_graph
+
+        if system.compiled_graph is not None:
+            return False
+        fingerprint = config_fingerprint(system.config)
+        path = self.checkpoint_path(fingerprint)
+        if not os.path.exists(path):
+            return False
+        try:
+            load_graph(system, path)
+        except FileNotFoundError:
+            system.compiled_graph = None
+            return False
+        except Exception as error:
+            system.compiled_graph = None
+            logger.warning(
+                "dropping unusable exploration checkpoint %s (recompiling): %s",
+                path,
+                error,
+            )
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def _unlink_checkpoint(self, fingerprint: str) -> None:
+        """Remove a fingerprint's checkpoint (best-effort)."""
+        try:
+            os.unlink(self.checkpoint_path(fingerprint))
+        except OSError:
+            pass
 
     def _unlink_entry(self, fingerprint: str) -> None:
         """Remove an entry and its lineage sidecar (best-effort)."""
@@ -480,12 +578,17 @@ class GraphStore:
         whose writer died mid-publish are deleted once they are older than
         :attr:`claim_timeout` — a live publisher stages for milliseconds,
         so an old temp file can only be an interrupted one.  Then drops
-        orphaned ``.parent`` sidecars (their entry is gone)
-        unconditionally, and finally — when a byte budget is configured —
-        removes least-recently-used entries until the store fits, skipping
-        entries pinned by in-flight queries and entries whose compile claim
-        is currently held (a claimed fingerprint is about to be
-        re-published or re-read; evicting it would duplicate work).
+        orphaned ``.parent`` sidecars (their entry is gone) and ``.ckpt``
+        checkpoints superseded by a published entry unconditionally, and
+        finally — when a byte budget is configured — removes
+        least-recently-used entries until the store fits, skipping entries
+        pinned by in-flight queries and entries whose compile claim is
+        currently held (a claimed fingerprint is about to be re-published
+        or re-read; evicting it would duplicate work).  Checkpoints are
+        evicted *last* — only when dropping every evictable full entry
+        still leaves the store over budget — and never while their
+        fingerprint is pinned or claimed (the claimant is resuming from
+        exactly that checkpoint).
         """
         try:
             names = os.listdir(self.directory)
@@ -493,13 +596,12 @@ class GraphStore:
             return []
         present = set()
         sidecars = []
+        checkpoints = []
         now = time.time()
         for name in names:
             fingerprint = self._fingerprint_of_entry(name)
             if fingerprint is not None:
                 present.add(fingerprint)
-            elif name.startswith("graph-") and name.endswith(".npz.parent"):
-                sidecars.append(name[len("graph-") : -len(".npz.parent")])
             elif name.startswith("graph-") and ".tmp-" in name:
                 path = os.path.join(self.directory, name)
                 try:
@@ -514,18 +616,35 @@ class GraphStore:
                         os.unlink(path)
                     except OSError:
                         pass
+            elif name.startswith("graph-") and name.endswith(".npz.parent"):
+                sidecars.append(name[len("graph-") : -len(".npz.parent")])
+            elif name.startswith("graph-") and name.endswith(".npz.ckpt"):
+                checkpoints.append(name[len("graph-") : -len(".npz.ckpt")])
         for fingerprint in sidecars:
             if fingerprint not in present:
                 try:
                     os.unlink(self.lineage_path(fingerprint))
                 except OSError:
                     pass
+        for fingerprint in list(checkpoints):
+            if fingerprint in present:
+                # The complete graph landed; the checkpoint is superseded.
+                self._unlink_checkpoint(fingerprint)
+                checkpoints.remove(fingerprint)
 
         budget = self.budget_bytes()
         if budget is None:
             return []
         entries = sorted(self._entries())
+        checkpoint_stats = []
+        for fingerprint in checkpoints:
+            try:
+                stat = os.stat(self.checkpoint_path(fingerprint))
+            except OSError:
+                continue  # adopted/swept by a racing process
+            checkpoint_stats.append((stat.st_mtime, stat.st_size, fingerprint))
         total = sum(size for _, size, _ in entries)
+        total += sum(size for _, size, _ in checkpoint_stats)
         evicted: List[str] = []
         for _mtime, size, fingerprint in entries:
             if total <= budget:
@@ -535,6 +654,20 @@ class GraphStore:
             if os.path.exists(self.claim_path(fingerprint)):
                 continue
             self._unlink_entry(fingerprint)
+            total -= size
+            evicted.append(fingerprint)
+        # Checkpoints go last: they represent in-flight cold work whose loss
+        # costs a full recompile, so every evictable finished entry goes
+        # first.  A pinned or claimed fingerprint's checkpoint survives
+        # unconditionally — its claimant is (about to be) resuming from it.
+        for _mtime, size, fingerprint in sorted(checkpoint_stats):
+            if total <= budget:
+                break
+            if self.pinned(fingerprint):
+                continue
+            if os.path.exists(self.claim_path(fingerprint)):
+                continue
+            self._unlink_checkpoint(fingerprint)
             total -= size
             evicted.append(fingerprint)
         if evicted:
@@ -550,12 +683,21 @@ class GraphStore:
     def describe(self) -> Dict[str, object]:
         """Store summary (entries, bytes, budget) for service stats."""
         entries = self._entries()
+        try:
+            checkpoints = sum(
+                1
+                for name in os.listdir(self.directory)
+                if name.startswith("graph-") and name.endswith(".npz.ckpt")
+            )
+        except OSError:
+            checkpoints = 0
         return {
             "directory": self.directory,
             "entries": len(entries),
             "bytes": sum(size for _, size, _ in entries),
             "budget_bytes": self.budget_bytes(),
             "pinned": sum(1 for count in self._pins.values() if count > 0),
+            "checkpoints": checkpoints,
         }
 
 

@@ -1,0 +1,264 @@
+"""Exploration-checkpoint tests: a compile killed mid-exploration resumes
+from its last staged checkpoint and finishes **byte-identical** to an
+uninterrupted compile.
+
+The identity property is the whole point of level-boundary checkpoints:
+ids are assigned in BFS discovery order (value-ascending within a level),
+so a graph resumed at any level boundary assigns exactly the ids, CSR rows
+and level pointers the uninterrupted compile would have — asserted here
+array-for-array on the ``.npz`` payloads, after SIGKILLing a real compiler
+child at seeded-random levels ≥ 2.  The re-exploration counter proves only
+post-checkpoint levels were re-expanded.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import signal
+
+import numpy as np
+import pytest
+
+from repro.scheduler.packed import PackedSlotSystem
+from repro.scheduler.slot_system import SlotSystemConfig
+from repro.verification.exhaustive import ExhaustiveVerifier
+from repro.verification.kernel import (
+    CHECKPOINT_BYTES_ENV_VAR,
+    CHECKPOINT_LEVELS_ENV_VAR,
+    CheckpointPolicy,
+    checkpoint_policy_from_env,
+    compiled_graph_for,
+)
+from repro.verification.store import GraphStore, store_for
+
+MAX_STATES = 200_000
+
+
+def _config(*profiles):
+    return SlotSystemConfig.from_profiles(tuple(profiles))
+
+
+def _reference_graph(config, tmp_path):
+    """Uninterrupted cold compile, saved for array-level comparison."""
+    system = PackedSlotSystem(config)
+    graph = compiled_graph_for(system)
+    graph.explore(MAX_STATES, with_parents=False)
+    assert graph.complete
+    path = str(tmp_path / "reference.npz")
+    graph.save(path)
+    return graph, path
+
+
+def _assert_npz_identical(path_a, path_b):
+    with np.load(path_a) as a, np.load(path_b) as b:
+        assert sorted(a.files) == sorted(b.files)
+        for key in a.files:
+            assert np.array_equal(a[key], b[key]), f"array {key!r} differs"
+
+
+# ------------------------------------------------------------------ policy
+class TestCheckpointPolicy:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CHECKPOINT_LEVELS_ENV_VAR, raising=False)
+        monkeypatch.delenv(CHECKPOINT_BYTES_ENV_VAR, raising=False)
+        assert checkpoint_policy_from_env(lambda system: None) is None
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv(CHECKPOINT_LEVELS_ENV_VAR, "4")
+        monkeypatch.setenv(CHECKPOINT_BYTES_ENV_VAR, "1e6")
+        policy = checkpoint_policy_from_env(lambda system: None)
+        assert policy.every_levels == 4
+        assert policy.every_bytes == 1_000_000
+
+    def test_non_numeric_env_is_ignored(self, monkeypatch, caplog):
+        monkeypatch.setenv(CHECKPOINT_LEVELS_ENV_VAR, "often")
+        monkeypatch.delenv(CHECKPOINT_BYTES_ENV_VAR, raising=False)
+        assert checkpoint_policy_from_env(lambda system: None) is None
+
+    def test_level_trigger_counts_growth_not_absolutes(self, small_profile):
+        system = PackedSlotSystem(_config(small_profile))
+        graph = compiled_graph_for(system)
+        sunk = []
+        graph.set_checkpoint_policy(
+            CheckpointPolicy(sunk.append, every_levels=2)
+        )
+        graph.explore(MAX_STATES, with_parents=False)
+        assert graph.complete
+        # One sink call per two expanded levels (the final partial stride
+        # ends with completion, which never checkpoints).
+        assert len(sunk) == graph.expanded_levels // 2
+        assert all(s is system for s in sunk)
+
+    def test_no_env_means_no_checkpoint_files(
+        self, tmp_path, monkeypatch, small_profile
+    ):
+        monkeypatch.delenv(CHECKPOINT_LEVELS_ENV_VAR, raising=False)
+        monkeypatch.delenv(CHECKPOINT_BYTES_ENV_VAR, raising=False)
+        verifier = ExhaustiveVerifier(
+            [small_profile], engine="kernel", graph_dir=str(tmp_path)
+        )
+        assert verifier.verify().feasible
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".ckpt")]
+
+
+# -------------------------------------------------------- in-process cycle
+class TestCheckpointCycle:
+    def test_resume_is_byte_identical(
+        self, tmp_path, small_profile, second_small_profile
+    ):
+        config = _config(small_profile, second_small_profile)
+        _, reference_path = _reference_graph(config, tmp_path)
+
+        store = GraphStore(str(tmp_path / "store"))
+        system = PackedSlotSystem(config)
+        graph = compiled_graph_for(system)
+        graph.set_checkpoint_policy(
+            CheckpointPolicy(store.publish_checkpoint, every_levels=3)
+        )
+        # "Die" mid-compile: stop after a capped partial exploration.
+        graph.explore(40, with_parents=False)
+        assert not graph.complete
+        assert store.describe()["checkpoints"] == 1
+
+        resumed_system = PackedSlotSystem(config)
+        assert store.load_checkpoint(resumed_system)
+        resumed = resumed_system.compiled_graph
+        assert resumed.resumed_levels >= 3
+        resumed.explore(MAX_STATES, with_parents=False)
+        assert resumed.complete
+        assert resumed.expansion_count == (
+            resumed.expanded_levels - resumed.resumed_levels
+        )
+        resumed_path = str(tmp_path / "resumed.npz")
+        resumed.save(resumed_path)
+        _assert_npz_identical(reference_path, resumed_path)
+
+    def test_completed_publish_sweeps_the_checkpoint(
+        self, tmp_path, small_profile
+    ):
+        store = GraphStore(str(tmp_path))
+        system = PackedSlotSystem(_config(small_profile))
+        graph = compiled_graph_for(system)
+        graph.set_checkpoint_policy(
+            CheckpointPolicy(store.publish_checkpoint, every_levels=1)
+        )
+        graph.explore(MAX_STATES, with_parents=False)
+        assert store.describe()["checkpoints"] == 1
+        store.publish(system)
+        assert store.describe()["checkpoints"] == 0
+        assert store.describe()["entries"] == 1
+
+
+# ----------------------------------------------------- SIGKILL resume fuzz
+def _compile_victim(config, directory, kill_after_levels):
+    """Child: compile with per-level checkpoints, SIGKILL self mid-run."""
+    system = PackedSlotSystem(config)
+    store = store_for(directory)
+    staged = []
+
+    def sink(packed_system):
+        store.publish_checkpoint(packed_system)
+        staged.append(1)
+        if len(staged) >= kill_after_levels:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    graph = compiled_graph_for(system)
+    graph.set_checkpoint_policy(CheckpointPolicy(sink, every_levels=1))
+    graph.explore(MAX_STATES, with_parents=False)
+    os._exit(1)  # pragma: no cover - must have died above
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="SIGKILL fuzz requires the fork start method",
+)
+class TestSigkillResumeFuzz:
+    def test_resume_after_sigkill_at_random_levels(
+        self, tmp_path, small_profile, second_small_profile
+    ):
+        config = _config(small_profile, second_small_profile)
+        reference, reference_path = _reference_graph(config, tmp_path)
+        total_levels = reference.expanded_levels
+        assert total_levels > 4
+
+        context = multiprocessing.get_context("fork")
+        rng = random.Random(0xC0FFEE)
+        for trial in range(3):
+            kill_level = rng.randint(2, total_levels - 2)
+            directory = str(tmp_path / f"store-{trial}")
+            victim = context.Process(
+                target=_compile_victim,
+                args=(config, directory, kill_level),
+            )
+            victim.start()
+            victim.join(timeout=120)
+            assert victim.exitcode == -signal.SIGKILL
+
+            store = GraphStore(directory)
+            assert store.describe()["checkpoints"] == 1
+            system = PackedSlotSystem(config)
+            assert store.load_checkpoint(system)
+            graph = system.compiled_graph
+            # With a checkpoint every level, the newest one on disk is
+            # exactly the level the child died at.
+            assert graph.resumed_levels == kill_level
+            graph.explore(MAX_STATES, with_parents=False)
+            assert graph.complete
+            # Only post-checkpoint levels were re-expanded.
+            assert graph.expansion_count == total_levels - kill_level
+            resumed_path = str(tmp_path / f"resumed-{trial}.npz")
+            graph.save(resumed_path)
+            _assert_npz_identical(reference_path, resumed_path)
+
+
+# ------------------------------------------------- verifier/service wiring
+class TestVerifierResume:
+    def test_verifier_resumes_from_orphaned_checkpoint(
+        self, tmp_path, monkeypatch, small_profile, second_small_profile
+    ):
+        monkeypatch.setenv(CHECKPOINT_LEVELS_ENV_VAR, "2")
+        directory = str(tmp_path / "store")
+        profiles = [small_profile, second_small_profile]
+
+        class _Die(RuntimeError):
+            pass
+
+        original = GraphStore.publish_checkpoint
+        calls = []
+
+        def dying_publish(self, system):
+            path = original(self, system)
+            calls.append(path)
+            if len(calls) >= 2:
+                raise _Die("simulated mid-compile death")
+            return path
+
+        monkeypatch.setattr(GraphStore, "publish_checkpoint", dying_publish)
+        first = ExhaustiveVerifier(profiles, engine="kernel", graph_dir=directory)
+        with pytest.raises(_Die):
+            first.verify()
+        monkeypatch.setattr(GraphStore, "publish_checkpoint", original)
+
+        from repro.scheduler.packed import clear_packed_caches
+
+        clear_packed_caches()
+        second = ExhaustiveVerifier(profiles, engine="kernel", graph_dir=directory)
+        result = second.verify()
+        assert second.resumed_from_checkpoint
+        assert result.feasible
+        graph = second.packed.compiled_graph
+        assert graph.resumed_levels >= 2
+        assert graph.expansion_count == graph.expanded_levels - graph.resumed_levels
+        # The completed publish swept the checkpoint.
+        assert store_for(directory).describe()["checkpoints"] == 0
+
+        clear_packed_caches()
+        clean = ExhaustiveVerifier(
+            profiles, engine="kernel", graph_dir=str(tmp_path / "clean")
+        )
+        clean_result = clean.verify()
+        assert not clean.resumed_from_checkpoint
+        assert clean_result.feasible == result.feasible
+        assert clean_result.explored_states == result.explored_states

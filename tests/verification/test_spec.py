@@ -334,3 +334,121 @@ class TestIntegration:
         summary = result.summary()
         assert "spec_verdicts" in summary
         assert "no-miss" in summary["spec_verdicts"]
+
+
+class TestSpecVerdictCache:
+    """The per-process verdict LRU: settled graphs hit, prefixes never do."""
+
+    def _graph(self, *profiles):
+        graph, _config, _result = _compiled_graph(list(profiles))
+        assert graph.complete
+        return graph
+
+    def test_repeat_evaluation_hits_the_cache(
+        self, small_profile, second_small_profile
+    ):
+        from repro.verification import clear_spec_cache, spec_cache_stats
+        from repro.verification.spec_eval import evaluate_spec
+
+        graph = self._graph(small_profile, second_small_profile)
+        clear_spec_cache()
+        spec = parse_spec("always (holding(A) implies not queued(A))")
+        cold = evaluate_spec(graph, spec)
+        assert spec_cache_stats() == {"hits": 0, "misses": 1, "entries": 1}
+        warm = evaluate_spec(graph, spec)
+        assert spec_cache_stats()["hits"] == 1
+        assert (warm.holds, warm.witness, warm.states_checked, warm.reason) == (
+            cold.holds,
+            cold.witness,
+            cold.states_checked,
+            cold.reason,
+        )
+
+    def test_hit_carries_the_callers_spec_name(
+        self, small_profile, second_small_profile
+    ):
+        from repro.verification import clear_spec_cache
+        from repro.verification.spec_eval import evaluate_spec
+
+        graph = self._graph(small_profile, second_small_profile)
+        clear_spec_cache()
+        evaluate_spec(graph, parse_spec("reachable buffer >= 2", name="first"))
+        warm = evaluate_spec(
+            graph, parse_spec("reachable buffer >= 2", name="second")
+        )
+        assert warm.name == "second"
+
+    def test_truncated_prefix_is_never_cached(self, small_profile):
+        from repro.scheduler.packed import PackedSlotSystem
+        from repro.verification import clear_spec_cache, spec_cache_stats
+        from repro.verification.kernel import compiled_graph_for
+        from repro.verification.spec_eval import evaluate_spec
+
+        system = PackedSlotSystem(SlotSystemConfig.from_profiles((small_profile,)))
+        graph = compiled_graph_for(system)
+        graph.explore(20, with_parents=True)
+        assert not graph.complete and graph.error is None
+        clear_spec_cache()
+        spec = parse_spec("always not missed")
+        evaluate_spec(graph, spec)
+        evaluate_spec(graph, spec)
+        assert spec_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_error_stopped_graph_is_cacheable(
+        self, small_profile, second_small_profile, tight_profile
+    ):
+        from repro.scheduler.packed import PackedSlotSystem
+        from repro.verification import clear_spec_cache, spec_cache_stats
+        from repro.verification.kernel import compiled_graph_for
+        from repro.verification.spec_eval import evaluate_spec
+
+        system = PackedSlotSystem(
+            SlotSystemConfig.from_profiles(
+                (small_profile, second_small_profile, tight_profile)
+            )
+        )
+        graph = compiled_graph_for(system)
+        graph.explore(200_000, with_parents=True)
+        assert graph.error is not None
+        clear_spec_cache()
+        spec = parse_spec("always not missed")
+        cold = evaluate_spec(graph, spec)
+        assert cold.holds is False
+        warm = evaluate_spec(graph, spec)
+        assert spec_cache_stats()["hits"] == 1
+        assert warm.witness == cold.witness
+
+    def test_env_var_sizes_and_disables(
+        self, monkeypatch, small_profile, second_small_profile
+    ):
+        from repro.verification import clear_spec_cache, spec_cache_stats
+        from repro.verification.spec_eval import (
+            SPEC_CACHE_ENV_VAR,
+            evaluate_spec,
+        )
+
+        graph = self._graph(small_profile, second_small_profile)
+        clear_spec_cache()
+        monkeypatch.setenv(SPEC_CACHE_ENV_VAR, "0")
+        spec = parse_spec("always not missed")
+        evaluate_spec(graph, spec)
+        evaluate_spec(graph, spec)
+        assert spec_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+        monkeypatch.setenv(SPEC_CACHE_ENV_VAR, "1")
+        evaluate_spec(graph, spec)
+        evaluate_spec(graph, parse_spec("reachable buffer >= 2"))
+        assert spec_cache_stats()["entries"] == 1  # LRU evicted the first
+
+    def test_clear_packed_caches_drops_verdicts(
+        self, small_profile, second_small_profile
+    ):
+        from repro.verification import clear_spec_cache, spec_cache_stats
+        from repro.verification.spec_eval import evaluate_spec
+
+        graph = self._graph(small_profile, second_small_profile)
+        clear_spec_cache()
+        evaluate_spec(graph, parse_spec("always not missed"))
+        assert spec_cache_stats()["entries"] == 1
+        clear_packed_caches()
+        assert spec_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}

@@ -309,3 +309,137 @@ class TestStoreFor:
         assert summary["bytes"] > 0
         assert summary["pinned"] == 1
         assert summary["budget_bytes"] is None
+
+
+# ------------------------------------------------------------- checkpoints
+def _partial_system(*profiles, cap: int = 40) -> PackedSlotSystem:
+    """A system whose compile was 'interrupted' (capped partial graph)."""
+    config = SlotSystemConfig.from_profiles(profiles)
+    system = PackedSlotSystem(config)
+    system.compiled_graph = CompiledStateGraph(system)
+    system.compiled_graph.explore(cap, False)
+    assert not system.compiled_graph.complete
+    return system
+
+
+class TestCheckpointCrashWindows:
+    """Crash-window edge cases of the exploration-checkpoint layer."""
+
+    def test_orphaned_checkpoint_is_adopted_by_the_next_claimant(
+        self, store, small_profile, second_small_profile
+    ):
+        partial = _partial_system(small_profile, second_small_profile)
+        fingerprint = config_fingerprint(partial.config)
+        path = store.publish_checkpoint(partial)
+        assert path == store.checkpoint_path(fingerprint)
+        # The compiler died here: no entry, no claim, one orphaned .ckpt.
+        assert not store.has(fingerprint)
+        assert store.describe()["checkpoints"] == 1
+
+        claimant = PackedSlotSystem(partial.config)
+        with store.claim(fingerprint):
+            assert store.load_checkpoint(claimant)
+            graph = claimant.compiled_graph
+            assert graph.resumed_levels == graph.expanded_levels > 0
+            graph.explore(5_000_000, False)
+            assert graph.complete
+            store.publish(claimant)
+        assert store.has(fingerprint)
+        # The completed publish swept the adopted checkpoint.
+        assert store.describe()["checkpoints"] == 0
+
+    def test_corrupt_checkpoint_logs_and_recompiles(
+        self, store, small_profile, caplog
+    ):
+        partial = _partial_system(small_profile, cap=20)
+        fingerprint = config_fingerprint(partial.config)
+        store.publish_checkpoint(partial)
+        with open(store.checkpoint_path(fingerprint), "wb") as handle:
+            handle.write(b"not an npz archive")
+        fresh = PackedSlotSystem(partial.config)
+        with caplog.at_level(logging.WARNING, logger="repro.verification.store"):
+            assert not store.load_checkpoint(fresh)
+        assert fresh.compiled_graph is None  # caller recompiles from scratch
+        assert any(
+            "unusable exploration checkpoint" in record.message
+            for record in caplog.records
+        )
+        assert not os.path.exists(store.checkpoint_path(fingerprint))
+
+    def test_truncated_checkpoint_logs_and_recompiles(
+        self, store, small_profile, caplog
+    ):
+        partial = _partial_system(small_profile, cap=20)
+        fingerprint = config_fingerprint(partial.config)
+        path = store.publish_checkpoint(partial)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        fresh = PackedSlotSystem(partial.config)
+        with caplog.at_level(logging.WARNING, logger="repro.verification.store"):
+            assert not store.load_checkpoint(fresh)
+        assert fresh.compiled_graph is None
+        assert not os.path.exists(path)
+
+    def test_missing_checkpoint_is_a_plain_miss(self, store, small_profile):
+        fresh = PackedSlotSystem(SlotSystemConfig.from_profiles((small_profile,)))
+        assert not store.load_checkpoint(fresh)
+        assert fresh.compiled_graph is None
+
+    def test_complete_or_published_graphs_never_checkpoint(
+        self, store, small_profile
+    ):
+        complete = _compiled_system(small_profile)
+        assert store.publish_checkpoint(complete) is None
+        partial = _partial_system(small_profile, cap=20)
+        store.publish(complete)
+        # An already-published entry makes a checkpoint pointless.
+        assert store.publish_checkpoint(partial) is None
+
+    def test_eviction_never_removes_the_checkpoint_of_a_live_claim(
+        self, store, small_profile, second_small_profile, monkeypatch
+    ):
+        partial = _partial_system(small_profile, second_small_profile)
+        fingerprint = config_fingerprint(partial.config)
+        store.publish_checkpoint(partial)
+        monkeypatch.setenv(STORE_BYTES_ENV_VAR, "1")  # evict all it can
+        with store.claim(fingerprint):
+            assert fingerprint not in store.evict()
+            assert os.path.exists(store.checkpoint_path(fingerprint))
+        # Claim released (holder gave up without publishing): now it goes.
+        assert fingerprint in store.evict()
+        assert not os.path.exists(store.checkpoint_path(fingerprint))
+
+    def test_checkpoints_are_evicted_after_full_entries(
+        self, store, small_profile, second_small_profile, monkeypatch
+    ):
+        entry_system = _compiled_system(small_profile)
+        entry_fingerprint = config_fingerprint(entry_system.config)
+        path = store.publish(entry_system)
+        stamp = time.time() - 300
+        os.utime(path, (stamp, stamp))
+        partial = _partial_system(small_profile, second_small_profile)
+        checkpoint_fingerprint = config_fingerprint(partial.config)
+        checkpoint_size = os.path.getsize(store.publish_checkpoint(partial))
+        # Budget fits exactly the checkpoint: the (older!) full entry must
+        # still be the one evicted — checkpoints go last.
+        monkeypatch.setenv(STORE_BYTES_ENV_VAR, str(checkpoint_size))
+        evicted = store.evict()
+        assert evicted == [entry_fingerprint]
+        assert os.path.exists(store.checkpoint_path(checkpoint_fingerprint))
+
+    def test_superseded_checkpoint_is_swept_by_evict(self, store, small_profile):
+        complete = _compiled_system(small_profile)
+        fingerprint = config_fingerprint(complete.config)
+        partial = _partial_system(small_profile, cap=20)
+        store.publish_checkpoint(partial)
+        assert store.describe()["checkpoints"] == 1
+        store.publish(complete)  # publish sweeps its own checkpoint...
+        # ...and evict sweeps one that lands after the entry already
+        # exists (e.g. written by a racing compiler that lost the claim).
+        checkpoint = store.checkpoint_path(fingerprint)
+        with open(checkpoint, "wb") as handle:
+            handle.write(b"stale")
+        store.evict()
+        assert not os.path.exists(checkpoint)
+        assert store.has(fingerprint)
